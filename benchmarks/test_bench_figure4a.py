@@ -1,0 +1,61 @@
+"""Paper Figure 4(a): IPC and average read latency per app x config."""
+
+from conftest import print_table
+
+from repro.report import grouped_bar_chart
+from repro.study.table3 import CONFIG_NAMES
+
+
+def test_figure4a(study_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows_ipc, rows_lat = [], []
+    chart_data = {}
+    for app in study_result.app_names:
+        ipc_row, lat_row = [app], [app]
+        chart_data[app] = {}
+        for config in CONFIG_NAMES:
+            r = study_result.get(app, config)
+            ipc_row.append(f"{r.ipc:.2f}")
+            lat_row.append(f"{r.stats.average_read_latency:.1f}")
+            chart_data[app][config] = r.ipc
+        rows_ipc.append(ipc_row)
+        rows_lat.append(lat_row)
+
+    print_table("Figure 4(a): IPC", ["app", *CONFIG_NAMES], rows_ipc)
+    print()
+    print(grouped_bar_chart(chart_data, title="Figure 4(a) as bars: IPC"))
+    print_table("Figure 4(a): average read latency (cycles)",
+                ["app", *CONFIG_NAMES], rows_lat)
+
+    s = study_result
+
+    def ipc(app, config):
+        return s.get(app, config).ipc
+
+    # ft.B / lu.C: L3s help a lot; SRAM is capacity-starved vs LP-DRAM;
+    # COMM-DRAM gains nothing over LP-DRAM (paper section 4.2 group 1).
+    for app in ("ft.B", "lu.C"):
+        assert ipc(app, "lp_dram_c") > 1.25 * ipc(app, "nol3")
+        assert ipc(app, "lp_dram_c") >= 0.95 * ipc(app, "sram")
+        assert ipc(app, "cm_dram_c") < 1.15 * ipc(app, "lp_dram_c")
+
+    # bt/is/mg/sp: bigger L3s monotonically reduce main-memory traffic.
+    for app in ("bt.C", "is.C", "mg.B", "sp.C"):
+        assert ipc(app, "cm_dram_c") > ipc(app, "nol3")
+        big = s.get(app, "cm_dram_c").stats.counters.mem_reads
+        small = s.get(app, "sram").stats.counters.mem_reads
+        assert big < small
+
+    # ua.C / cg.C: insensitive to L3 size.
+    for app in ("ua.C", "cg.C"):
+        spread = [ipc(app, c) for c in CONFIG_NAMES[1:]]
+        assert max(spread) < 1.35 * min(spread)
+
+    # IPC correlates inversely with read latency (in-order threads).
+    for app in s.app_names:
+        fast = max(CONFIG_NAMES, key=lambda c: ipc(app, c))
+        slow = min(CONFIG_NAMES, key=lambda c: ipc(app, c))
+        assert (
+            s.get(app, fast).stats.average_read_latency
+            <= s.get(app, slow).stats.average_read_latency * 1.1
+        )

@@ -1,0 +1,57 @@
+"""Paper Figure 4(b): normalized execution-cycle breakdown."""
+
+from conftest import print_table
+
+from repro.sim.stats import BREAKDOWN_CATEGORIES
+from repro.study.table3 import CONFIG_NAMES
+
+
+def test_figure4b(study_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for app in study_result.app_names:
+        base = study_result.get(app, "nol3").stats
+        base_total = base.breakdown.total
+        for config in CONFIG_NAMES:
+            stats = study_result.get(app, config).stats
+            fractions = stats.breakdown.normalized(base_total)
+            rows.append([
+                app, config,
+                f"{study_result.normalized_cycles(app, config):.2f}",
+                *(f"{fractions[c]:.2f}" for c in BREAKDOWN_CATEGORIES),
+            ])
+    print_table(
+        "Figure 4(b): execution-cycle breakdown, normalized to nol3",
+        ["app", "config", "total", *BREAKDOWN_CATEGORIES],
+        rows,
+    )
+
+    s = study_result
+    # Memory access time occupies the majority of execution for the
+    # memory-bound apps without an L3 (paper: "memory access time occupies
+    # the majority of the execution cycles").
+    for app in ("bt.C", "cg.C", "ft.B", "lu.C"):
+        b = s.get(app, "nol3").stats.breakdown
+        assert b.memory > b.instruction
+
+    # Introducing an L3 reduces the memory component for the apps it can
+    # filter; for cg.C (no locality beyond L2) the misses persist and pick
+    # up the extra L3/crossbar latency, exactly the paper's "all L3 caches
+    # fail to filter the memory requests" case.
+    for app in ("bt.C", "ft.B", "is.C", "lu.C", "mg.B", "sp.C"):
+        nol3_mem = s.get(app, "nol3").stats.breakdown.memory
+        l3_mem = s.get(app, "cm_dram_c").stats.breakdown.memory
+        assert l3_mem < nol3_mem
+    cg_ratio = (
+        s.get("cg.C", "cm_dram_c").stats.breakdown.memory
+        / s.get("cg.C", "nol3").stats.breakdown.memory
+    )
+    assert cg_ratio > 0.6  # the L3 cannot filter cg.C
+
+    # The average execution-time reduction of the COMM-DRAM L3s lands in
+    # the paper's band (39 % and 43 % for ED and C respectively).
+    for config, paper_value in (("cm_dram_ed", 0.39), ("cm_dram_c", 0.43)):
+        measured = s.mean_execution_reduction(config)
+        print(f"mean execution-time reduction {config}: {measured:.0%} "
+              f"(paper: {paper_value:.0%})")
+        assert 0.15 < measured < 0.60

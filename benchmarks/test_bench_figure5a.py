@@ -1,0 +1,65 @@
+"""Paper Figure 5(a): memory-hierarchy power breakdown."""
+
+from conftest import print_table
+
+from repro.study.table3 import CONFIG_NAMES
+
+_COMPONENTS = (
+    "l1_leak", "l1_dyn", "l2_leak", "l2_dyn", "crossbar_leak",
+    "crossbar_dyn", "l3_leak", "l3_dyn", "l3_refresh", "main_chip_dyn",
+    "main_standby", "main_refresh", "main_bus",
+)
+
+
+def test_figure5a(study_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for app in study_result.app_names:
+        for config in CONFIG_NAMES:
+            p = study_result.get(app, config).power
+            d = p.as_dict()
+            rows.append([
+                app, config, f"{p.total:.2f}",
+                *(f"{d[c]:.2f}" for c in _COMPONENTS),
+            ])
+    print_table(
+        "Figure 5(a): memory-hierarchy power (W)",
+        ["app", "config", "total", *_COMPONENTS],
+        rows,
+    )
+
+    s = study_result
+    increases = {
+        c: s.mean_hierarchy_power_increase(c) for c in CONFIG_NAMES[1:]
+    }
+    paper = {"sram": 0.58, "lp_dram_ed": 0.37, "lp_dram_c": 0.35,
+             "cm_dram_ed": 0.012, "cm_dram_c": 0.023}
+    for config, value in increases.items():
+        print(f"mean hierarchy power increase {config}: {value:+.1%} "
+              f"(paper: {paper[config]:+.1%})")
+
+    # Paper orderings: SRAM raises hierarchy power the most, LP-DRAM less,
+    # COMM-DRAM barely at all.
+    assert increases["sram"] > increases["lp_dram_ed"]
+    assert increases["sram"] > increases["lp_dram_c"]
+    assert increases["lp_dram_ed"] > increases["cm_dram_ed"]
+    assert abs(increases["cm_dram_c"]) < 0.15
+    assert abs(increases["cm_dram_ed"]) < 0.15
+
+    # Main memory dominates hierarchy power in every configuration
+    # ("the main power drain in the memory hierarchy is the main memory
+    # chips") for the average app.
+    for config in ("nol3", "cm_dram_c"):
+        mains, totals = 0.0, 0.0
+        for app in s.app_names:
+            p = s.get(app, config).power
+            mains += p.main_memory_total
+            totals += p.total
+        assert mains > 0.35 * totals
+
+    # The nol3 hierarchy consumes several watts (paper: 6.6 W average).
+    avg_nol3 = sum(
+        s.get(app, "nol3").power.total for app in s.app_names
+    ) / len(s.app_names)
+    print(f"average nol3 hierarchy power: {avg_nol3:.1f} W (paper: 6.6 W)")
+    assert 2.0 < avg_nol3 < 15.0

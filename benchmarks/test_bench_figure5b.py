@@ -1,0 +1,67 @@
+"""Paper Figure 5(b): system power breakdown and energy-delay product."""
+
+from conftest import print_table
+
+from repro.report import grouped_bar_chart
+from repro.study.table3 import CONFIG_NAMES
+
+
+def test_figure5b(study_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for app in study_result.app_names:
+        for config in CONFIG_NAMES:
+            r = study_result.get(app, config)
+            rows.append([
+                app, config,
+                f"{r.system.core:.1f}",
+                f"{r.power.total:.2f}",
+                f"{r.system.total:.2f}",
+                f"{study_result.normalized_energy_delay(app, config):.2f}",
+            ])
+    print_table(
+        "Figure 5(b): system power (W) and normalized energy-delay",
+        ["app", "config", "core", "mem hier", "total", "EDP (norm)"],
+        rows,
+    )
+    chart = {
+        app: {
+            config: study_result.normalized_energy_delay(app, config)
+            for config in CONFIG_NAMES
+        }
+        for app in study_result.app_names
+    }
+    print()
+    print(grouped_bar_chart(
+        chart, title="Figure 5(b) as bars: normalized energy-delay"
+    ))
+
+    s = study_result
+    improvements = {
+        c: s.mean_energy_delay_improvement(c) for c in CONFIG_NAMES[1:]
+    }
+    paper = {"cm_dram_ed": 0.33, "cm_dram_c": 0.40}
+    for config, value in improvements.items():
+        note = f" (paper: {paper[config]:.0%})" if config in paper else ""
+        print(f"mean EDP improvement {config}: {value:+.1%}{note}")
+
+    # Headline result: the COMM-DRAM L3s deliver the best energy-delay.
+    assert improvements["cm_dram_c"] > improvements["sram"]
+    assert improvements["cm_dram_ed"] > improvements["sram"]
+    # LP-DRAM beats SRAM on average (paper: "the LP-DRAM L3s performed
+    # better than the SRAM L3 in all metrics").
+    assert improvements["lp_dram_ed"] >= improvements["sram"] - 0.02
+    # The COMM-DRAM improvements land in the paper's band.
+    assert 0.15 < improvements["cm_dram_c"] < 0.60
+    assert 0.10 < improvements["cm_dram_ed"] < 0.60
+
+    # Memory hierarchy is a meaningful share of system power (paper: 23 %
+    # for nol3 on average).
+    shares = [
+        s.get(app, "nol3").power.total / s.get(app, "nol3").system.total
+        for app in s.app_names
+    ]
+    avg_share = sum(shares) / len(shares)
+    print(f"average nol3 hierarchy share of system power: {avg_share:.0%} "
+          f"(paper: 23%)")
+    assert 0.10 < avg_share < 0.45

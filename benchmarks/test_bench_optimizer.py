@@ -1,0 +1,73 @@
+"""Ablation (paper section 2.4): the solution optimization methodology.
+
+Sweeps the three user-facing optimizer constraints -- max area, max access
+time, max repeater delay -- on a 4 MB SRAM array and shows the controlled
+exploration of the area/delay/energy space the paper describes, including
+the repeater-derating energy savings.
+"""
+
+from conftest import print_table
+
+from repro.core.cacti import data_array_spec
+from repro.core.config import MemorySpec, OptimizationTarget
+from repro.core.optimizer import feasible_designs, optimize
+from repro.tech.nodes import technology
+
+SPEC = MemorySpec(capacity_bytes=4 << 20, block_bytes=64, associativity=8,
+                  node_nm=32.0)
+TECH = technology(32)
+
+
+def sweep():
+    array_spec = data_array_spec(SPEC)
+    points = []
+    for area_frac, time_frac, rep in (
+        (0.05, 0.05, 0.0),
+        (0.05, 0.5, 0.0),
+        (0.3, 0.05, 0.0),
+        (0.3, 0.5, 0.0),
+        (1.0, 1.0, 0.0),
+        (0.3, 0.5, 0.5),
+    ):
+        target = OptimizationTarget(
+            max_area_fraction=area_frac,
+            max_acctime_fraction=time_frac,
+            max_repeater_delay_penalty=rep,
+        )
+        best = optimize(TECH, array_spec, target)
+        points.append((area_frac, time_frac, rep, best))
+    return array_spec, points
+
+
+def test_optimizer_sweep(benchmark):
+    array_spec, points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{a:.2f}", f"{t:.2f}", f"{r:.1f}",
+         f"{best.t_access * 1e9:.2f}", f"{best.area * 1e6:.2f}",
+         f"{best.e_read_access * 1e9:.3f}", f"{best.p_leakage:.3f}"]
+        for a, t, r, best in points
+    ]
+    print_table(
+        "Optimizer constraint sweep (4 MB SRAM, 32 nm)",
+        ["max area", "max time", "rep penalty", "access ns", "area mm2",
+         "E_rd nJ", "leak W"],
+        rows,
+    )
+
+    by_key = {(a, t, r): best for a, t, r, best in points}
+    tight_area = by_key[(0.05, 0.5, 0.0)]
+    loose_area = by_key[(0.3, 0.05, 0.0)]
+    # A tight area constraint yields a denser but slower design than a
+    # tight access-time constraint.
+    assert tight_area.area <= loose_area.area * 1.001
+    assert loose_area.t_access <= tight_area.t_access * 1.05
+
+    # Repeater derating saves energy without violating the delay budget.
+    base = by_key[(0.3, 0.5, 0.0)]
+    derated = by_key[(0.3, 0.5, 0.5)]
+    assert derated.e_read_access <= base.e_read_access * 1.02
+
+    # The staged filters genuinely prune the cloud.
+    cloud = feasible_designs(TECH, array_spec)
+    assert len(cloud) > 20
+    print(f"feasible organizations: {len(cloud)}")

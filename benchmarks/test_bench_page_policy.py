@@ -1,0 +1,92 @@
+"""Ablation (paper sections 2.3.4 and 3.4): page policies and line mapping.
+
+Two design choices the paper argues qualitatively:
+
+* open vs closed page policy as a function of the page-hit ratio, with the
+  crossover point;
+* cache-set-to-DRAM-page mapping (set-per-page vs striped, Figure 3) and
+  why neither yields page hits for interleaved LLC traffic -- the reason
+  the study operates its DRAM caches with an SRAM-like interface.
+"""
+
+from conftest import print_table
+
+from repro.dram.interface import LineMapping, page_hit_ratio
+from repro.dram.page_policy import (
+    ClosedPagePolicy,
+    OpenPagePolicy,
+    crossover_hit_ratio,
+    expected_access_latency,
+)
+from repro.study.table3 import solve_main_memory_chip
+
+
+def test_page_policy_crossover(benchmark):
+    mm = benchmark.pedantic(solve_main_memory_chip, rounds=1, iterations=1)
+    t = mm.timing
+    crossover = crossover_hit_ratio(t.t_rcd, t.t_cas, t.t_rp)
+
+    rows = []
+    for hit_ratio in (0.0, 0.1, 0.25, crossover, 0.5, 0.75, 0.95):
+        open_lat = expected_access_latency(
+            t.t_rcd, t.t_cas, t.t_rp, hit_ratio, OpenPagePolicy()
+        )
+        closed_lat = expected_access_latency(
+            t.t_rcd, t.t_cas, t.t_rp, hit_ratio, ClosedPagePolicy()
+        )
+        winner = "open" if open_lat < closed_lat else "closed"
+        if abs(open_lat - closed_lat) < 1e-12:
+            winner = "tie"
+        rows.append([
+            f"{hit_ratio:.2f}", f"{open_lat * 1e9:.1f}",
+            f"{closed_lat * 1e9:.1f}", winner,
+        ])
+    print_table(
+        "Open vs closed page policy (32 nm DDR4 chip)",
+        ["page-hit ratio", "open (ns)", "closed (ns)", "winner"],
+        rows,
+    )
+    print(f"crossover hit ratio: {crossover:.2f}")
+
+    low = expected_access_latency(t.t_rcd, t.t_cas, t.t_rp, 0.05,
+                                  OpenPagePolicy())
+    closed = expected_access_latency(t.t_rcd, t.t_cas, t.t_rp, 0.05,
+                                     ClosedPagePolicy())
+    assert closed < low  # sparse random traffic favours closed page
+    assert 0.0 < crossover < 1.0
+
+
+def test_line_mapping(benchmark):
+    def mappings():
+        page_bits, line_bits, assoc = 16384, 512, 12
+        cases = []
+        for mapping in LineMapping:
+            for sequential in (False, True):
+                for locality in (0.0, 0.5, 0.9):
+                    cases.append((
+                        mapping, sequential, locality,
+                        page_hit_ratio(mapping, page_bits, line_bits,
+                                       assoc, sequential, locality),
+                    ))
+        return cases
+
+    cases = benchmark(mappings)
+    rows = [
+        [m.value, str(seq), f"{loc:.1f}", f"{hit:.3f}"]
+        for m, seq, loc, hit in cases
+    ]
+    print_table(
+        "Figure 3: line-to-page mapping page-hit ratios (16 Kb page)",
+        ["mapping", "sequential access", "spatial locality", "page hits"],
+        rows,
+    )
+
+    by_key = {(m, s, l): h for m, s, l, h in cases}
+    # Sequential caches get zero page hits from set-per-page mapping.
+    assert by_key[(LineMapping.SET_PER_PAGE, True, 0.9)] == 0.0
+    # Random interleaved traffic (no spatial locality) gets none either
+    # way -- the SRAM-like interface justification.
+    for mapping in LineMapping:
+        assert by_key[(mapping, False, 0.0)] == 0.0
+    # With spatial locality and normal access, multiple sets per page help.
+    assert by_key[(LineMapping.SET_PER_PAGE, False, 0.9)] > 0.2

@@ -1,0 +1,69 @@
+"""Extension bench: DRAM power-down modes (the paper's conclusion).
+
+"The high percentage of main memory system power we observed due to
+standby power suggests that appropriate use of DRAM power-down modes,
+combined with supporting operating system policies, may significantly
+reduce main memory power."  This bench quantifies that suggestion using
+the 32 nm main-memory chip and request rates spanning the study's
+configurations: the nol3 system keeps the DIMMs busy, while the 192 MB
+COMM-DRAM L3 starves them, opening large power-down windows.
+"""
+
+from conftest import print_table
+
+from repro.power.powerdown import (
+    PowerDownPolicy,
+    evaluate_policy,
+    idle_intervals_from_rate,
+)
+from repro.study.table3 import solve_main_memory_chip
+
+#: Per-rank request rates (req/s) spanning the study: a nol3 system
+#: hammers memory; the big COMM-DRAM L3 filters most traffic.
+SCENARIOS = (
+    ("nol3-class traffic", 20e6),
+    ("SRAM-L3-class traffic", 6e6),
+    ("COMM-L3-class traffic", 1e6),
+    ("idle channel", 1e3),
+)
+
+
+def run_scenarios():
+    chip = solve_main_memory_chip()
+    standby = chip.energies.p_standby
+    policy = PowerDownPolicy()
+    results = []
+    for name, rate in SCENARIOS:
+        gaps = idle_intervals_from_rate(rate, duration=1.0)
+        outcome = evaluate_policy(policy, standby, gaps)
+        results.append((name, rate, outcome, standby))
+    return results
+
+
+def test_powerdown_modes(benchmark):
+    results = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+    rows = []
+    for name, rate, outcome, standby in results:
+        rows.append([
+            name,
+            f"{rate:.0e}",
+            f"{standby * 1e3:.1f}",
+            f"{outcome.average_standby_power * 1e3:.1f}",
+            f"{outcome.savings_vs_active(standby):.0%}",
+            f"{outcome.average_added_latency * 1e9:.0f}",
+        ])
+    print_table(
+        "DRAM power-down modes (per chip)",
+        ["scenario", "req/s", "always-on mW", "managed mW", "saving",
+         "added ns/req"],
+        rows,
+    )
+
+    by_name = {name: outcome for name, _, outcome, _ in results}
+    # Quiet channels save most of their standby power...
+    assert by_name["idle channel"].savings_vs_active(1.0) > 0.8
+    # ...and the saving grows monotonically as the L3 filters more traffic.
+    savings = [o.savings_vs_active(1.0) for _, _, o, _ in results]
+    assert savings == sorted(savings)
+    # Busy channels pay almost no latency penalty.
+    assert by_name["nol3-class traffic"].average_added_latency < 20e-9

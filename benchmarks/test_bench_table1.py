@@ -1,0 +1,55 @@
+"""Paper Table 1: key characteristics of the three memory technologies.
+
+Regenerates the technology comparison at 32 nm straight from the encoded
+models, so any drift between the code and the paper's table is visible.
+"""
+
+from conftest import print_table
+
+from repro.tech.cells import comm_dram_cell, lp_dram_cell, sram_cell
+from repro.tech.nodes import technology
+
+
+def build_table1() -> list[list[str]]:
+    tech = technology(32)
+    sram = sram_cell(32, tech.device("hp-long-channel").vdd)
+    lp = lp_dram_cell(32)
+    comm = comm_dram_cell(32)
+
+    def fmt_cap(c):
+        return f"{c.storage_cap * 1e15:.0f} fF" if c.storage_cap else "N/A"
+
+    def fmt_vpp(c):
+        return f"{c.vpp:.1f} V" if c.vpp else "N/A"
+
+    def fmt_ret(c):
+        if c.retention_time is None:
+            return "N/A"
+        return f"{c.retention_time * 1e3:g} ms"
+
+    return [
+        ["Cell area (F^2)", f"{sram.area_f2:.0f}", f"{lp.area_f2:.0f}",
+         f"{comm.area_f2:.0f}"],
+        ["Periphery device", "hp-long-channel", "hp-long-channel", "lstp"],
+        ["Bitline interconnect", "copper", "copper", "tungsten"],
+        ["Cell VDD (V)", f"{sram.vdd_cell:.1f}", f"{lp.vdd_cell:.1f}",
+         f"{comm.vdd_cell:.1f}"],
+        ["Storage capacitance", fmt_cap(sram), fmt_cap(lp), fmt_cap(comm)],
+        ["Boosted wordline VPP", fmt_vpp(sram), fmt_vpp(lp), fmt_vpp(comm)],
+        ["Refresh period", fmt_ret(sram), fmt_ret(lp), fmt_ret(comm)],
+    ]
+
+
+def test_table1(benchmark):
+    rows = benchmark(build_table1)
+    print_table(
+        "Table 1: technology characteristics at 32 nm",
+        ["Characteristic", "SRAM", "LP-DRAM", "COMM-DRAM"],
+        rows,
+    )
+    # The paper's values, verbatim.
+    flat = {cell for row in rows for cell in row}
+    assert {"146", "30", "6"} <= flat  # cell areas
+    assert {"20 fF", "30 fF"} <= flat  # storage caps
+    assert {"1.5 V", "2.6 V"} <= flat  # VPP
+    assert {"0.12 ms", "64 ms"} <= flat  # retention

@@ -1,0 +1,56 @@
+"""Paper Table 2: DRAM model validation vs a 78 nm Micron DDR3-1066 x8.
+
+Runs the full main-memory solve at the interpolated 78 nm node and prints
+the actual-vs-model comparison with per-metric errors next to the errors
+the paper reported for CACTI-D itself.
+"""
+
+from conftest import print_table
+
+from repro.validation.compare import validate_ddr3
+from repro.validation.targets import DDR3_TARGET
+
+
+def test_table2(benchmark):
+    validation = benchmark.pedantic(validate_ddr3, rounds=1, iterations=1)
+    sol, errors = validation.solution, validation.errors
+    target = DDR3_TARGET
+
+    rows = [
+        ["Area efficiency", f"{target.area_efficiency:.0%}",
+         f"{sol.area_efficiency:.0%}", f"{errors['area_efficiency']:+.1%}",
+         f"{target.PAPER_ERRORS['area_efficiency']:+.1%}"],
+        ["tRCD (ns)", f"{target.t_rcd * 1e9:.1f}",
+         f"{sol.timing.t_rcd * 1e9:.1f}", f"{errors['t_rcd']:+.1%}",
+         f"{target.PAPER_ERRORS['t_rcd']:+.1%}"],
+        ["CAS latency (ns)", f"{target.t_cas * 1e9:.1f}",
+         f"{sol.timing.t_cas * 1e9:.1f}", f"{errors['t_cas']:+.1%}",
+         f"{target.PAPER_ERRORS['t_cas']:+.1%}"],
+        ["tRC (ns)", f"{target.t_rc * 1e9:.1f}",
+         f"{sol.timing.t_rc * 1e9:.1f}", f"{errors['t_rc']:+.1%}",
+         f"{target.PAPER_ERRORS['t_rc']:+.1%}"],
+        ["ACTIVATE energy (nJ)", f"{target.e_activate * 1e9:.1f}",
+         f"{sol.energies.e_activate * 1e9:.2f}",
+         f"{errors['e_activate']:+.1%}",
+         f"{target.PAPER_ERRORS['e_activate']:+.1%}"],
+        ["READ energy (nJ)", f"{target.e_read * 1e9:.1f}",
+         f"{sol.energies.e_read * 1e9:.2f}", f"{errors['e_read']:+.1%}",
+         f"{target.PAPER_ERRORS['e_read']:+.1%}"],
+        ["WRITE energy (nJ)", f"{target.e_write * 1e9:.1f}",
+         f"{sol.energies.e_write * 1e9:.2f}", f"{errors['e_write']:+.1%}",
+         f"{target.PAPER_ERRORS['e_write']:+.1%}"],
+        ["Refresh power (mW)", f"{target.p_refresh * 1e3:.1f}",
+         f"{sol.energies.p_refresh * 1e3:.2f}",
+         f"{errors['p_refresh']:+.1%}",
+         f"{target.PAPER_ERRORS['p_refresh']:+.1%}"],
+    ]
+    print_table(
+        "Table 2: DDR3-1066 validation (78 nm Micron 1Gb x8)",
+        ["Metric", "Actual", "Model", "Error", "Paper error"],
+        rows,
+    )
+    print(f"mean |error|: {validation.mean_abs_error:.1%} "
+          f"(paper: ~16%)")
+
+    # Same quality band as the published tool.
+    assert validation.mean_abs_error < 0.30

@@ -1,0 +1,53 @@
+"""Paper Table 3: 32 nm projections of every level of the hierarchy.
+
+Solves L1, L2, the five L3 design points, and the 8 Gb main-memory chip
+with this reproduction's CACTI-D and prints them next to the paper's
+published column values.
+"""
+
+from conftest import print_table
+
+from repro.study.table3 import paper_table3, solve_table3
+
+
+def test_table3(benchmark):
+    solved = benchmark.pedantic(solve_table3, rounds=1, iterations=1)
+    paper = paper_table3()
+
+    header = ["Structure", "Capacity", "Acc cyc", "Cyc cyc", "Clk 1/n",
+              "Area/bank mm2", "Eff %", "Leak W", "Refresh W", "E_rd nJ"]
+    rows = []
+    for name, row in solved.items():
+        p = paper[name]
+
+        def pair(model, published, fmt="{:.2f}"):
+            return f"{fmt.format(model)} ({fmt.format(published)})"
+
+        cap = row.capacity_bytes
+        cap_str = f"{cap >> 20} MB" if cap >= (1 << 20) else f"{cap >> 10} KB"
+        rows.append([
+            name, cap_str,
+            pair(row.access_cycles, p.access_cycles, "{:d}"),
+            pair(row.cycle_cycles, p.cycle_cycles, "{:d}"),
+            pair(row.clock_divider, p.clock_divider, "{:d}"),
+            pair(row.area_mm2, p.area_mm2),
+            pair(row.area_efficiency * 100, p.area_efficiency * 100,
+                 "{:.0f}"),
+            pair(row.leakage_w, p.leakage_w, "{:.3f}"),
+            pair(row.refresh_w, p.refresh_w, "{:.4f}"),
+            pair(row.e_read_nj, p.e_read_nj),
+        ])
+    print_table("Table 3: hierarchy projections at 32 nm -- model (paper)",
+                header, rows)
+
+    # Shape assertions: the orderings the study depends on.
+    assert solved["sram"].leakage_w > solved["lp_dram_ed"].leakage_w
+    assert solved["lp_dram_ed"].leakage_w > 10 * solved["cm_dram_ed"].leakage_w
+    assert solved["lp_dram_ed"].refresh_w > solved["cm_dram_ed"].refresh_w
+    assert solved["cm_dram_c"].access_cycles > solved["sram"].access_cycles
+    assert solved["main"].access_cycles > solved["cm_dram_c"].access_cycles
+    # Absolute bands vs the published table.
+    for name in ("sram", "lp_dram_ed", "lp_dram_c"):
+        assert solved[name].leakage_w / paper[name].leakage_w < 2.0
+        assert paper[name].leakage_w / solved[name].leakage_w < 2.0
+    assert abs(solved["main"].access_cycles - 61) <= 20

@@ -1,0 +1,61 @@
+"""Ablation: where do a DRAM cache's tags live?
+
+The paper's DRAM L3s store tags in the same technology as the data (a
+giant 192 MB cache carries ~10 MB of tags -- too large for SRAM within
+the stacking budget); Black et al.'s earlier stacked-DRAM study kept SRAM
+tags on the core die instead.  This bench quantifies the choice for the
+192 MB COMM-DRAM L3: access time (tags gate the way select), leakage
+(SRAM tags leak), and area.
+"""
+
+from conftest import print_table
+
+from repro.core.cacti import solve
+from repro.core.config import DENSITY_OPTIMIZED, MemorySpec
+from repro.tech.cells import CellTech
+
+
+def solve_tag_options():
+    out = {}
+    for tag_tech in (None, CellTech.SRAM, CellTech.LP_DRAM):
+        spec = MemorySpec(
+            capacity_bytes=192 << 20,
+            block_bytes=64,
+            associativity=24,
+            nbanks=8,
+            node_nm=32.0,
+            cell_tech=CellTech.COMM_DRAM,
+            tag_cell_tech=tag_tech,
+        )
+        label = (tag_tech.value if tag_tech else "comm-dram (paper)")
+        out[label] = solve(spec, DENSITY_OPTIMIZED)
+    return out
+
+
+def test_tag_technology(benchmark):
+    solutions = benchmark.pedantic(solve_tag_options, rounds=1,
+                                   iterations=1)
+    rows = []
+    for label, s in solutions.items():
+        rows.append([
+            label,
+            f"{s.tag.t_access * 1e9:.2f}",
+            f"{s.access_time * 1e9:.2f}",
+            f"{s.tag.p_leakage:.3f}",
+            f"{s.tag.area * 1e6:.2f}",
+        ])
+    print_table(
+        "Tag technology for the 192 MB COMM-DRAM L3",
+        ["tags in", "tag access ns", "cache access ns", "tag leak W",
+         "tag area mm2"],
+        rows,
+    )
+
+    comm = solutions["comm-dram (paper)"]
+    sram = solutions["sram"]
+    # SRAM tags are much faster to probe...
+    assert sram.tag.t_access < comm.tag.t_access
+    # ...but leak orders of magnitude more than LSTP-periphery tags.
+    assert sram.tag.p_leakage > 20 * comm.tag.p_leakage
+    # Tag arrays are megabyte-scale at 192 MB: a real budget item.
+    assert comm.tag.area > 0.5e-6  # > 0.5 mm^2

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Sensitivity analysis: what moves a solved design, and by how much.
+
+Sweeps capacity, associativity, and technology node for an LP-DRAM cache
+and reports metric trajectories and elasticities (d log metric / d log
+input) -- the kind of derivative information that makes an analytical
+model like CACTI-D more useful than point estimates.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro import CellTech, MemorySpec
+from repro.study.sensitivity import capacity_sweep, sweep
+
+BASE = MemorySpec(
+    capacity_bytes=4 << 20,
+    block_bytes=64,
+    associativity=8,
+    node_nm=32.0,
+    cell_tech=CellTech.LP_DRAM,
+)
+
+
+def print_series(result, metric, scale, unit):
+    print(f"\n{metric} vs {result.parameter}:")
+    for value, m in result.series(metric):
+        print(f"  {value:>12g}  ->  {m * scale:.3f} {unit}")
+    e = result.elasticity(metric)
+    print(f"  elasticity: {e:+.2f}")
+
+
+def main() -> None:
+    print("Base design: 4 MB 8-way LP-DRAM cache at 32 nm")
+
+    caps = capacity_sweep(BASE, factors=(1, 2, 4, 8, 16))
+    print_series(caps, "access_time", 1e9, "ns")
+    print_series(caps, "area", 1e6, "mm^2")
+    print_series(caps, "p_leakage", 1e3, "mW")
+
+    nodes = sweep(BASE, "node_nm", [90.0, 65.0, 45.0, 32.0])
+    print_series(nodes, "access_time", 1e9, "ns")
+    print_series(nodes, "e_read", 1e9, "nJ")
+
+    assoc = sweep(BASE, "associativity", [2, 4, 8, 16])
+    print_series(assoc, "e_read", 1e9, "nJ")
+
+    print("\nSummary:")
+    for result in (caps, nodes, assoc):
+        print(result.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""What fits in a 6.2 mm^2 stacked cache bank?
+
+The LLC study fixes the area available per stacked L3 bank to 6.2 mm^2
+(1/8th of the core die).  This example inverts the paper's question: for
+each memory technology, sweep capacities and find the largest bank that
+fits the budget, then report its latency, energy, leakage, and refresh
+cost -- the capacity-vs-speed tradeoff that makes COMM-DRAM attractive for
+stacking.
+
+Run:  python examples/stacked_cache_explorer.py
+"""
+
+from repro import CellTech, MemorySpec, solve
+from repro.core.config import DENSITY_OPTIMIZED
+from repro.core.optimizer import NoFeasibleSolution
+
+#: Capacities that do not divide into whole 12-way sets are skipped.
+
+BANK_BUDGET_MM2 = 6.2
+NBANKS = 8
+CANDIDATES_MB = (3, 6, 9, 12, 16, 24, 32, 48)
+
+
+def largest_fitting(cell_tech: CellTech):
+    best = None
+    for per_bank_mb in CANDIDATES_MB:
+        capacity = per_bank_mb * NBANKS << 20
+        try:
+            solution = solve(
+                MemorySpec(
+                    capacity_bytes=capacity,
+                    block_bytes=64,
+                    associativity=12,
+                    nbanks=NBANKS,
+                    node_nm=32.0,
+                    cell_tech=cell_tech,
+                    sleep_transistors=cell_tech is CellTech.SRAM,
+                ),
+                DENSITY_OPTIMIZED,
+            )
+        except (NoFeasibleSolution, ValueError):
+            continue
+        if solution.area_mm2 / NBANKS <= BANK_BUDGET_MM2:
+            best = solution
+    return best
+
+
+def main() -> None:
+    print(f"Largest 12-way cache fitting {BANK_BUDGET_MM2} mm^2 per bank "
+          f"({NBANKS} banks, 32 nm):\n")
+    header = (f"{'technology':<12}{'capacity':>10}{'acc ns':>8}"
+              f"{'E_rd nJ':>9}{'leak W':>8}{'refresh W':>10}"
+              f"{'mm2/bank':>9}")
+    print(header)
+    results = {}
+    for cell_tech in (CellTech.SRAM, CellTech.LP_DRAM, CellTech.COMM_DRAM):
+        s = largest_fitting(cell_tech)
+        results[cell_tech] = s
+        print(
+            f"{cell_tech.value:<12}"
+            f"{s.spec.capacity_bytes >> 20:>8} MB"
+            f"{s.access_time_ns:>8.2f}"
+            f"{s.e_read_nj:>9.3f}"
+            f"{s.p_leakage:>8.3f}"
+            f"{s.p_refresh:>10.4f}"
+            f"{s.area_mm2 / NBANKS:>9.2f}"
+        )
+
+    sram = results[CellTech.SRAM]
+    comm = results[CellTech.COMM_DRAM]
+    ratio = comm.spec.capacity_bytes / sram.spec.capacity_bytes
+    print(f"\nCOMM-DRAM stacks {ratio:.0f}x the SRAM capacity in the same "
+          f"footprint, at {comm.access_time / sram.access_time:.1f}x the "
+          f"access time and {sram.p_leakage / max(comm.p_leakage, 1e-6):.0f}x "
+          f"less leakage -- the paper's core tradeoff.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: a reproduction of CACTI-D (Thoziyoor et al., ISCA 2008).
+
+A comprehensive memory modeling tool covering SRAM, logic-process DRAM
+(LP-DRAM), and commodity DRAM (COMM-DRAM) technologies with consistent
+models from L1 caches through main-memory DRAM chips, plus the multicore
+timing simulator, workloads, and power accounting used for the paper's
+stacked last-level-cache study.
+
+Quick start::
+
+    from repro import MemorySpec, solve
+    from repro.tech import CellTech
+
+    spec = MemorySpec(capacity_bytes=1 << 20, block_bytes=64,
+                      associativity=8, node_nm=32.0,
+                      cell_tech=CellTech.SRAM)
+    solution = solve(spec)
+    print(solution.summary())
+"""
+
+from repro.array.mainmem import MainMemorySpec
+from repro.core import (
+    AccessMode,
+    CactiD,
+    MainMemorySolution,
+    MemorySpec,
+    NoFeasibleSolution,
+    OptimizationTarget,
+    Solution,
+    solve,
+    solve_main_memory,
+)
+from repro.tech import CellTech, technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "CactiD",
+    "CellTech",
+    "MainMemorySolution",
+    "MainMemorySpec",
+    "MemorySpec",
+    "NoFeasibleSolution",
+    "OptimizationTarget",
+    "Solution",
+    "solve",
+    "solve_main_memory",
+    "technology",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Array organization: subarrays, mats, H-trees, banks, main-memory chips."""
+
+from repro.array.htree import HTree, design_htree
+from repro.array.mainmem import (
+    MainMemoryEnergies,
+    MainMemorySpec,
+    MainMemoryTiming,
+    derive_energies,
+    derive_timing,
+)
+from repro.array.mat import Mat, mats_in_bank
+from repro.array.organization import (
+    ArrayMetrics,
+    ArraySpec,
+    InfeasibleOrganization,
+    OrgParams,
+    build_organization,
+    enumerate_orgs,
+)
+from repro.array.stacking import StackedBank, stacking_sweep
+from repro.array.subarray import InfeasibleSubarray, Subarray
+
+__all__ = [
+    "ArrayMetrics",
+    "ArraySpec",
+    "HTree",
+    "InfeasibleOrganization",
+    "InfeasibleSubarray",
+    "MainMemoryEnergies",
+    "MainMemorySpec",
+    "MainMemoryTiming",
+    "Mat",
+    "OrgParams",
+    "StackedBank",
+    "Subarray",
+    "build_organization",
+    "derive_energies",
+    "derive_timing",
+    "design_htree",
+    "enumerate_orgs",
+    "mats_in_bank",
+    "stacking_sweep",
+]

@@ -1,0 +1,109 @@
+"""H-tree distribution networks for addresses and data within a bank.
+
+CACTI routes addresses from the bank edge to the mats and data back out
+over H-tree networks of repeated global wires.  The tree alternates
+horizontal and vertical splits; the electrical path to the farthest mat is
+half the bank width plus half the bank height.  Repeater stages double as
+pipeline boundaries, so the tree's *occupancy* per access (which bounds the
+multisubbank interleave cycle) is one segment delay, not the full traverse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.repeaters import RepeatedWireDesign, repeated_wire
+from repro.tech.devices import DeviceParams
+from repro.tech.nodes import Technology
+
+
+#: Delay of one branch buffer, in FO4s of the driving device.
+_BRANCH_BUFFER_FO4 = 2.0
+
+
+@dataclass(frozen=True)
+class HTree:
+    """One direction of a bank's H-tree (address-in or data-out)."""
+
+    design: RepeatedWireDesign
+    path_length: float  #: edge-to-farthest-mat electrical length (m)
+    num_wires: int  #: bus width in signals
+    levels: int  #: number of branch levels (pipeline boundaries)
+    device: DeviceParams | None = None  #: branch-buffer device
+
+    @property
+    def buffer_delay(self) -> float:
+        """Per-traverse delay of the branch/gating buffers (s)."""
+        if self.device is None:
+            return 0.0
+        return self.levels * _BRANCH_BUFFER_FO4 * self.device.fo4
+
+    @property
+    def delay(self) -> float:
+        """Edge-to-mat (or mat-to-edge) latency (s)."""
+        return self.design.delay(self.path_length) + self.buffer_delay
+
+    @property
+    def occupancy(self) -> float:
+        """Time one access occupies a tree segment (s); the pipelined pitch."""
+        stages = max(self.levels, 1)
+        return self.delay / stages
+
+    def energy(self, bits_switched: int | None = None) -> float:
+        """Dynamic energy of one transfer (J).
+
+        Branch gating means only the path toward the active mats switches,
+        so the switched length is the path length, not the total wire.
+        """
+        n = self.num_wires if bits_switched is None else bits_switched
+        return n * self.design.energy(self.path_length)
+
+    @property
+    def leakage(self) -> float:
+        """Repeater leakage over the whole tree (W).
+
+        Total wire in the tree is ~2x the critical path per doubling level;
+        approximate with 2 * path_length per wire.
+        """
+        return self.num_wires * self.design.leakage(2.0 * self.path_length)
+
+    @property
+    def wiring_area(self) -> float:
+        """Metal footprint of the tree (m^2), for area overhead accounting."""
+        return (
+            self.num_wires
+            * self.design.wire.pitch
+            * 2.0
+            * self.path_length
+        )
+
+
+def design_htree(
+    tech: Technology,
+    device: DeviceParams,
+    bank_width: float,
+    bank_height: float,
+    num_wires: int,
+    num_mats: int,
+    max_repeater_delay_penalty: float = 0.0,
+    wire=None,
+) -> HTree:
+    """Design an H-tree spanning a bank of the given dimensions.
+
+    ``wire`` defaults to the fast top-level global plane; metal-poor
+    processes (commodity DRAM) pass their best available plane instead.
+    """
+    design = repeated_wire(
+        device, wire if wire is not None else tech.global_,
+        tech.feature_size, max_repeater_delay_penalty
+    )
+    path = (bank_width + bank_height) / 2.0
+    levels = max(1, math.ceil(math.log2(max(num_mats, 2))))
+    return HTree(
+        design=design,
+        path_length=path,
+        num_wires=num_wires,
+        levels=levels,
+        device=device,
+    )

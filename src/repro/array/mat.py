@@ -1,0 +1,51 @@
+"""Mats: the 2x2 subarray tiles that the H-tree distributes to.
+
+A mat groups four identical subarrays around shared predecode/control in
+the CACTI organization.  The grouping matters for the H-tree (it targets
+mats, not subarrays) and for area (shared central strip); electrically the
+critical path runs through a single subarray, which :class:`Mat` delegates
+to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.array.subarray import Subarray
+
+#: Subarrays per mat (2 x 2).
+SUBARRAYS_PER_MAT = 4
+
+#: Central control/predecode strip overhead as a fraction of subarray area;
+#: partially offset by the predecoder sharing across the four subarrays.
+_MAT_OVERHEAD = 0.02
+
+
+@dataclass(frozen=True)
+class Mat:
+    """A 2x2 tile of identical subarrays with shared central control."""
+
+    subarray: Subarray
+
+    @cached_property
+    def width(self) -> float:
+        return 2.0 * self.subarray.width
+
+    @cached_property
+    def height(self) -> float:
+        return 2.0 * self.subarray.height
+
+    @cached_property
+    def area(self) -> float:
+        return SUBARRAYS_PER_MAT * self.subarray.area * (1.0 + _MAT_OVERHEAD)
+
+    @cached_property
+    def cell_area(self) -> float:
+        return SUBARRAYS_PER_MAT * self.subarray.cell_area
+
+
+def mats_in_bank(ndwl: int, ndbl: int) -> int:
+    """Number of mats covering an ndwl x ndbl subarray grid."""
+    return max(1, math.ceil(ndwl / 2) * math.ceil(ndbl / 2))

@@ -1,0 +1,476 @@
+"""Bank organization: partitioning parameters to complete array metrics.
+
+A bank is an ``ndwl x ndbl`` grid of subarrays (grouped 2x2 into mats)
+reached by address and data H-trees.  The partitioning parameters follow
+CACTI:
+
+* ``ndwl`` -- wordline divisions (subarray columns across the bank),
+* ``ndbl`` -- bitline divisions (subarray rows down the bank),
+* ``nspd`` -- sets mapped onto one wordline (relative row widening),
+* ``ndcm`` -- column-mux degree before the sense amps (SRAM only; DRAM
+  senses every bitline -- that *is* the page),
+* ``ndsam`` -- output mux degree after the sense amps.
+
+From one tuple the module derives subarray geometry, how many subarrays
+activate per access, and composes access time, random cycle time,
+multisubbank interleave cycle time, per-access energies, leakage, refresh
+power, and area.  The optimizer in :mod:`repro.core.optimizer` sweeps this
+space exhaustively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.array.htree import HTree, design_htree
+from repro.array.mat import mats_in_bank
+from repro.array.subarray import InfeasibleSubarray, Subarray
+from repro.tech.cells import CellTech
+from repro.tech.nodes import Technology
+
+#: Fraction of dynamic energy added for control logic and clocking.
+_CONTROL_ENERGY_FRACTION = 0.05
+
+#: Fraction of leakage added for control/IO circuitry.
+_CONTROL_LEAKAGE_FRACTION = 0.05
+
+#: Area overhead for bank-level control, redundancy, and pads.
+_BANK_AREA_OVERHEAD = 0.05
+
+#: Control wires accompanying the address on the in-tree.
+_CONTROL_WIRES = 8
+
+#: Delay of the post-sense column mux / way select, in FO4s.
+_COLMUX_FO4 = 3.0
+
+#: Structural limits on candidate subarrays.
+MIN_ROWS, MAX_ROWS = 8, 16384
+MIN_COLS, MAX_COLS = 16, 65536
+
+#: DRAM bitlines are limited to 512 cells: beyond that, charge-share
+#: signal margins against noise, offset, and cell-capacitance variation
+#: make sensing unreliable, which is why commodity parts stop there.
+MAX_DRAM_ROWS = 512
+
+
+class InfeasibleOrganization(ValueError):
+    """Raised when a partitioning tuple cannot realize the array spec."""
+
+
+@dataclass(frozen=True)
+class OrgParams:
+    """One point in the partitioning space."""
+
+    ndwl: int
+    ndbl: int
+    nspd: float
+    ndcm: int = 1
+    ndsam: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("ndwl", "ndbl", "ndcm", "ndsam"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise InfeasibleOrganization(
+                    f"{name} must be a positive power of two, got {value}"
+                )
+        if self.nspd <= 0:
+            raise InfeasibleOrganization("nspd must be positive")
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Low-level specification of one physical array (data or tag).
+
+    ``capacity_bits`` covers all banks.  ``output_bits`` is what one access
+    delivers at the bank edge; ``assoc`` rows share a set (cache data/tag
+    arrays) -- use 1 for plain memories.  ``page_bits``, when set,
+    constrains the sensed bits per activation (main-memory page size).
+    """
+
+    capacity_bits: int
+    output_bits: int
+    assoc: int = 1
+    nbanks: int = 1
+    cell_tech: CellTech = CellTech.SRAM
+    periph_device_type: str = "hp-long-channel"
+    page_bits: int | None = None
+    sleep_transistors: bool = False
+    max_repeater_delay_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits % (self.nbanks * self.output_bits * self.assoc):
+            raise InfeasibleOrganization(
+                "capacity must divide evenly into banks x sets x output bits"
+            )
+
+    @property
+    def bits_per_bank(self) -> int:
+        return self.capacity_bits // self.nbanks
+
+    @property
+    def sets_per_bank(self) -> int:
+        return self.bits_per_bank // (self.output_bits * self.assoc)
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, math.ceil(math.log2(max(self.sets_per_bank, 2))))
+
+
+@dataclass(frozen=True)
+class ArrayMetrics:
+    """Complete evaluated metrics of one (spec, org) design point."""
+
+    spec: ArraySpec
+    org: OrgParams
+    rows: int  #: rows per subarray
+    cols: int  #: columns per subarray
+    nact: int  #: subarrays activated per access
+    sensed_bits: int  #: bitline pairs sensed per access
+    # timing (s)
+    t_access: float
+    t_random_cycle: float
+    t_interleave: float
+    t_decode: float
+    t_wordline: float
+    t_bitline: float
+    t_sense: float
+    t_writeback: float
+    t_precharge: float
+    t_htree_in: float
+    t_htree_out: float
+    # energy (J per access)
+    e_activate: float  #: row open: decode + wordline + sense (+restore)
+    e_read_column: float  #: column path + data out for a read
+    e_write_column: float  #: column path + data in for a write
+    e_precharge: float  #: bitline restore
+    # power (W)
+    p_leakage: float
+    p_refresh: float
+    # geometry
+    area: float  #: total area, all banks (m^2)
+    bank_width: float
+    bank_height: float
+    area_efficiency: float
+
+    @property
+    def e_read_access(self) -> float:
+        """Total dynamic energy of one full read access (J)."""
+        return self.e_activate + self.e_read_column + self.e_precharge
+
+    @property
+    def e_write_access(self) -> float:
+        return self.e_activate + self.e_write_column + self.e_precharge
+
+
+def build_organization(
+    tech: Technology, spec: ArraySpec, org: OrgParams
+) -> ArrayMetrics:
+    """Evaluate one partitioning tuple; raises InfeasibleOrganization."""
+    return _Builder(tech, spec, org).metrics()
+
+
+class _Builder:
+    """Derives and composes all metrics for one design point."""
+
+    def __init__(self, tech: Technology, spec: ArraySpec, org: OrgParams):
+        self.tech = tech
+        self.spec = spec
+        self.org = org
+        self.periph = tech.device(spec.periph_device_type)
+        self.cell = tech.cell(spec.cell_tech, spec.periph_device_type)
+        self.is_dram = self.cell.is_dram
+        if self.is_dram and org.ndcm != 1:
+            raise InfeasibleOrganization(
+                "DRAM senses every bitline; column muxing before the sense "
+                "amps (ndcm > 1) is not possible"
+            )
+        self._derive_geometry()
+
+    # ------------------------------------------------------------------ #
+
+    def _derive_geometry(self) -> None:
+        spec, org = self.spec, self.org
+        rows_f = spec.sets_per_bank / (org.ndbl * org.nspd)
+        cols_f = spec.output_bits * spec.assoc * org.nspd / org.ndwl
+        if rows_f != int(rows_f) or cols_f != int(cols_f):
+            raise InfeasibleOrganization(
+                f"non-integral subarray ({rows_f} x {cols_f})"
+            )
+        self.rows, self.cols = int(rows_f), int(cols_f)
+        if not MIN_ROWS <= self.rows <= MAX_ROWS:
+            raise InfeasibleOrganization(f"rows {self.rows} out of range")
+        if self.is_dram and self.rows > MAX_DRAM_ROWS:
+            raise InfeasibleOrganization(
+                f"{self.rows} cells per DRAM bitline exceeds the "
+                f"{MAX_DRAM_ROWS}-cell sensing limit"
+            )
+        if not MIN_COLS <= self.cols <= MAX_COLS:
+            raise InfeasibleOrganization(f"cols {self.cols} out of range")
+        if self.cols % (org.ndcm * org.ndsam):
+            raise InfeasibleOrganization("mux degrees must divide columns")
+
+        # Output bits produced by one activated subarray.  Non-power-of-two
+        # associativities leave the last active subarray partially used, so
+        # the count rounds up rather than requiring exact tiling.
+        out_per_sub = self.cols // (org.ndcm * org.ndsam)
+        if out_per_sub == 0:
+            raise InfeasibleOrganization("mux degree consumes all columns")
+        self.nact = math.ceil(spec.output_bits / out_per_sub)
+        if self.nact > org.ndwl:
+            raise InfeasibleOrganization(
+                f"access needs {self.nact} active subarrays, bank has "
+                f"{org.ndwl} per row"
+            )
+        # A set-associative array must be able to mux down to one way.
+        if spec.assoc > 1 and org.ndcm * org.ndsam < spec.assoc:
+            raise InfeasibleOrganization(
+                "mux degree cannot select one way out of the set"
+            )
+
+        sensed_per_sub = self.cols if self.is_dram else self.cols // org.ndcm
+        self.sensed_bits = self.nact * sensed_per_sub
+        self.sense_amps_per_sub = sensed_per_sub
+
+        if spec.page_bits is not None:
+            if not self.is_dram:
+                raise InfeasibleOrganization("page size applies to DRAM only")
+            if self.sensed_bits != spec.page_bits:
+                raise InfeasibleOrganization(
+                    f"activation senses {self.sensed_bits} bits, page is "
+                    f"{spec.page_bits}"
+                )
+
+        self.subarray = Subarray(
+            tech=self.tech,
+            cell=self.cell,
+            periph=self.periph,
+            rows=self.rows,
+            cols=self.cols,
+        )
+        self.subarray.check_dram_feasible()
+
+        org_mats = mats_in_bank(org.ndwl, org.ndbl)
+        self.num_mats = org_mats
+        self.bank_width = org.ndwl * self.subarray.width
+        self.bank_height = org.ndbl * self.subarray.height
+
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def _htree_wire(self):
+        # Commodity DRAM processes have few, slow metal layers (the cost
+        # structure that makes them dense): bank routing runs on the
+        # intermediate plane.  Logic processes route on fast top metal.
+        if self.spec.cell_tech is CellTech.COMM_DRAM:
+            return self.tech.semi_global
+        return self.tech.global_
+
+    @cached_property
+    def htree_in(self) -> HTree:
+        # Global circuitry uses the same device family as the periphery
+        # (paper Table 1: long-channel HP for SRAM/LP-DRAM, LSTP for
+        # COMM-DRAM).
+        return design_htree(
+            self.tech,
+            self.periph,
+            self.bank_width,
+            self.bank_height,
+            num_wires=self.spec.address_bits + _CONTROL_WIRES,
+            num_mats=self.num_mats,
+            max_repeater_delay_penalty=self.spec.max_repeater_delay_penalty,
+            wire=self._htree_wire,
+        )
+
+    @cached_property
+    def htree_out(self) -> HTree:
+        return design_htree(
+            self.tech,
+            self.periph,
+            self.bank_width,
+            self.bank_height,
+            num_wires=self.spec.output_bits,
+            num_mats=self.num_mats,
+            max_repeater_delay_penalty=self.spec.max_repeater_delay_penalty,
+            wire=self._htree_wire,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def metrics(self) -> ArrayMetrics:
+        sub = self.subarray
+        spec, org = self.spec, self.org
+
+        t_colmux = _COLMUX_FO4 * self.periph.fo4
+        t_access = (
+            self.htree_in.delay
+            + sub.decoder.delay
+            + sub.t_bitline
+            + sub.t_sense
+            + t_colmux
+            + self.htree_out.delay
+        )
+        t_random_cycle = (
+            sub.decoder.wordline_delay
+            + sub.t_bitline
+            + sub.t_sense
+            + sub.t_writeback
+            + sub.t_precharge
+        )
+        t_interleave = max(
+            self.htree_in.occupancy,
+            self.htree_out.occupancy,
+            t_colmux,
+        )
+
+        # --- energies ---------------------------------------------------
+        e_wordlines = self.nact * sub.e_wordline
+        e_sense = sub.e_read_bitlines(self.sensed_bits)
+        e_activate = e_wordlines + e_sense + self.htree_in.energy()
+        e_colmux = (
+            spec.output_bits
+            * self.periph.c_gate
+            * 8.0
+            * self.tech.feature_size
+            * self.periph.vdd**2
+        )
+        e_read_column = e_colmux + self.htree_out.energy()
+        e_write_column = (
+            e_colmux
+            + self.htree_out.energy()
+            + sub.e_write_bitlines(spec.output_bits)
+        )
+        # Precharge dissipates roughly the sense-restore charge again for
+        # DRAM (half-VDD equalize); SRAM precharge restores the small swing.
+        swing_fraction = 0.5 if self.is_dram else 0.1
+        e_precharge = (
+            self.sensed_bits
+            * sub.bitline_capacitance
+            * self.cell.vdd_cell**2
+            * swing_fraction
+            * 0.5
+        )
+        scale = 1.0 + _CONTROL_ENERGY_FRACTION
+        e_activate *= scale
+        e_read_column *= scale
+        e_write_column *= scale
+        e_precharge *= scale
+
+        # --- leakage ------------------------------------------------------
+        num_subs = org.ndwl * org.ndbl
+        leak_per_sub = sub.leakage(self.sense_amps_per_sub)
+        if spec.sleep_transistors:
+            active_fraction = self.nact / num_subs
+            leak_array = leak_per_sub * num_subs * (
+                active_fraction + 0.5 * (1.0 - active_fraction)
+            )
+        else:
+            leak_array = leak_per_sub * num_subs
+        leak_bank = (
+            leak_array + self.htree_in.leakage + self.htree_out.leakage
+        ) * (1.0 + _CONTROL_LEAKAGE_FRACTION)
+        p_leakage = leak_bank * spec.nbanks
+
+        # --- refresh ------------------------------------------------------
+        p_refresh = 0.0
+        if self.is_dram:
+            assert self.cell.retention_time is not None
+            refresh_ops_per_bank = self.rows * org.ndbl * org.ndwl / self.nact
+            e_refresh_op = (e_activate + e_precharge)
+            p_refresh = (
+                spec.nbanks
+                * refresh_ops_per_bank
+                * e_refresh_op
+                / self.cell.retention_time
+            )
+
+        # --- area -----------------------------------------------------------
+        subarrays_area = num_subs * sub.area * 1.02  # mat control strips
+        wiring = self.htree_in.wiring_area + self.htree_out.wiring_area
+        bank_area = (subarrays_area + 0.5 * wiring) * (1 + _BANK_AREA_OVERHEAD)
+        total_area = bank_area * spec.nbanks
+        cell_area = num_subs * sub.cell_area * spec.nbanks
+
+        return ArrayMetrics(
+            spec=spec,
+            org=org,
+            rows=self.rows,
+            cols=self.cols,
+            nact=self.nact,
+            sensed_bits=self.sensed_bits,
+            t_access=t_access,
+            t_random_cycle=t_random_cycle,
+            t_interleave=t_interleave,
+            t_decode=sub.decoder.delay,
+            t_wordline=sub.decoder.wordline_delay,
+            t_bitline=sub.t_bitline,
+            t_sense=sub.t_sense,
+            t_writeback=sub.t_writeback,
+            t_precharge=sub.t_precharge,
+            t_htree_in=self.htree_in.delay,
+            t_htree_out=self.htree_out.delay,
+            e_activate=e_activate,
+            e_read_column=e_read_column,
+            e_write_column=e_write_column,
+            e_precharge=e_precharge,
+            p_leakage=p_leakage,
+            p_refresh=p_refresh,
+            area=total_area,
+            bank_width=self.bank_width,
+            bank_height=self.bank_height,
+            area_efficiency=cell_area / total_area,
+        )
+
+
+def enumerate_orgs(
+    spec: ArraySpec,
+    max_ndwl: int = 64,
+    max_ndbl: int = 64,
+    nspd_values: tuple[float, ...] | None = None,
+    max_mux: int | None = None,
+) -> list[OrgParams]:
+    """All structurally plausible partitioning tuples for ``spec``.
+
+    Infeasible tuples are cheap to reject later; this pre-filter only
+    enforces the power-of-two structure and mux applicability.  Wide-page
+    main-memory parts (page_bits set) need far more row widening (nspd)
+    and output muxing than caches, because a whole page is sensed but only
+    a few dozen bits leave the chip per column access.
+    """
+    is_dram = spec.cell_tech.is_dram
+    if nspd_values is None:
+        nspd_values = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+        if spec.page_bits is not None:
+            # Row widening must reach page/output (a whole page on one
+            # subarray row) and beyond: large chips also need wide rows
+            # just to keep bitlines under the DRAM sensing limit.
+            widening = max(2, spec.page_bits // spec.output_bits) * 16
+            nspd_values += tuple(
+                float(2**k) for k in range(4, widening.bit_length())
+            )
+    if max_mux is None:
+        max_mux = 64
+        if spec.page_bits is not None:
+            max_mux = max(64, spec.page_bits // spec.output_bits * 2)
+    ndcms = (1,) if is_dram else _powers_up_to(max_mux)
+    candidates = []
+    for ndwl in _powers_up_to(max_ndwl):
+        for ndbl in _powers_up_to(max_ndbl):
+            for nspd in nspd_values:
+                for ndcm in ndcms:
+                    for ndsam in _powers_up_to(max_mux):
+                        candidates.append(
+                            OrgParams(ndwl, ndbl, nspd, ndcm, ndsam)
+                        )
+    return candidates
+
+
+def _powers_up_to(limit: int) -> tuple[int, ...]:
+    powers = []
+    value = 1
+    while value <= limit:
+        powers.append(value)
+        value *= 2
+    return tuple(powers)

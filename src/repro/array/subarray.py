@@ -1,0 +1,319 @@
+"""Subarray model: cells, wordlines, bitlines, sensing, restore, precharge.
+
+A subarray is a contiguous grid of memory cells with its own wordline
+drivers (one edge), sense amplifiers (another edge), and a share of the row
+decoder.  CACTI-D models SRAM and DRAM subarrays in one framework --
+identical peripheral methodology, a folded array organization for DRAM --
+and differs only where the technologies genuinely differ:
+
+* SRAM reads actively discharge one bitline of a precharged pair until the
+  required sense differential develops; the cell is undisturbed.
+* DRAM reads are destructive charge sharing; the sense amplifier must
+  regenerate the full bitline swing, which also writes the data back into
+  the cell; afterwards the bitlines must be restored to VDD/2 (precharge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.circuits.decoder import DecoderMetrics, WordlineLoad, design_decoder
+from repro.circuits.drivers import WireLoad
+from repro.circuits.senseamp import SenseAmp, charge_share_signal
+from repro.tech.cells import CellParams
+from repro.tech.devices import TEMPERATURE_LEAKAGE_FACTOR, DeviceParams
+from repro.tech.nodes import Technology
+
+#: RC settling multiplier for full-swing charging (to ~90 %).
+_T_SETTLE = 2.3
+
+#: RC settling multiplier to ~1 % precision, for DRAM bitline equalization.
+_T_SETTLE_PRECISE = 4.6
+
+#: Cell-restore slowdown: as the storage node approaches full level the
+#: access device's overdrive (VPP - Vth - Vcell) collapses, so the final
+#: restore is several RC constants slower than the nominal channel
+#: resistance suggests.
+_RESTORE_SLOWDOWN = 3.0
+
+#: Width of a bitline precharge/equalize device, in feature sizes.
+_PRECHARGE_WIDTH_F = 8.0
+
+#: Edge overhead of a subarray: wordline-driver strip width and sense-amp
+#: strip height, in feature sizes.  DRAM sense strips are taller (the amps
+#: are bigger relative to the tiny cell pitch).
+_DRIVER_STRIP_F = 20.0
+_SENSE_STRIP_SRAM_F = 20.0
+_SENSE_STRIP_DRAM_F = 40.0
+
+
+class InfeasibleSubarray(ValueError):
+    """Raised when a candidate subarray violates an electrical constraint."""
+
+
+@dataclass(frozen=True)
+class Subarray:
+    """One subarray of ``rows x cols`` cells plus its edge circuitry."""
+
+    tech: Technology
+    cell: CellParams
+    periph: DeviceParams
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise InfeasibleSubarray("subarray must have >= 1 row and column")
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+
+    @cached_property
+    def cell_array_width(self) -> float:
+        return self.cols * self.cell.width
+
+    @cached_property
+    def cell_array_height(self) -> float:
+        return self.rows * self.cell.height
+
+    @cached_property
+    def width(self) -> float:
+        """Subarray width including the wordline-driver strip (m)."""
+        return self.cell_array_width + _DRIVER_STRIP_F * self.tech.feature_size
+
+    @cached_property
+    def height(self) -> float:
+        """Subarray height including the sense-amp strip (m)."""
+        strip = (
+            _SENSE_STRIP_DRAM_F if self.cell.is_dram else _SENSE_STRIP_SRAM_F
+        )
+        return self.cell_array_height + strip * self.tech.feature_size
+
+    @cached_property
+    def area(self) -> float:
+        return self.width * self.height + self.decoder.area
+
+    @cached_property
+    def cell_area(self) -> float:
+        """Area of the cells alone, for area-efficiency accounting (m^2)."""
+        return self.rows * self.cols * self.cell.area
+
+    # ------------------------------------------------------------------ #
+    # Wordline and bitline electricals
+
+    @cached_property
+    def wordline_load(self) -> WordlineLoad:
+        wire = self.tech.local
+        # SRAM wordlines drive two access gates per cell (the 6T pair);
+        # DRAM drives one.
+        gates_per_cell = 2.0 if not self.cell.is_dram else 1.0
+        c_gate = (
+            gates_per_cell * self.cell.access_width * self.periph.c_gate
+        )
+        c = self.cols * (c_gate + wire.c_per_m * self.cell.width)
+        r = self.cols * wire.r_per_m * self.cell.width
+        return WordlineLoad(
+            resistance=r,
+            capacitance=c,
+            pitch=self.cell.height,
+            voltage=self.cell.wordline_voltage,
+        )
+
+    @cached_property
+    def bitline_capacitance(self) -> float:
+        """Total capacitance of one bitline (F)."""
+        wire = self.tech.bitline_wire(self.cell.tech)
+        per_cell = (
+            self.cell.access_c_drain * self.cell.access_width
+            + self.cell.access_c_junction
+            + wire.c_per_m * self.cell.height
+        )
+        # In a folded DRAM array only every other cell contacts a given
+        # bitline, but the twin bitline runs the full height either way;
+        # junction loading halves, wire loading does not.
+        if self.cell.is_dram:
+            per_cell = (
+                0.5
+                * (
+                    self.cell.access_c_drain * self.cell.access_width
+                    + self.cell.access_c_junction
+                )
+                + wire.c_per_m * self.cell.height
+            )
+        return self.rows * per_cell
+
+    @cached_property
+    def bitline_resistance(self) -> float:
+        """Total resistance of one bitline (ohm)."""
+        wire = self.tech.bitline_wire(self.cell.tech)
+        return self.rows * wire.r_per_m * self.cell.height
+
+    # ------------------------------------------------------------------ #
+    # Row decode
+
+    @cached_property
+    def decoder(self) -> DecoderMetrics:
+        predec_wire = WireLoad(
+            resistance=self.tech.semi_global.r_per_m * self.cell_array_height,
+            capacitance=self.tech.semi_global.c_per_m * self.cell_array_height,
+        )
+        return design_decoder(
+            self.periph,
+            self.tech.feature_size,
+            self.rows,
+            self.wordline_load,
+            predec_wire,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sensing
+
+    @cached_property
+    def sense_amp(self) -> SenseAmp:
+        return SenseAmp(self.periph, self.tech.feature_size)
+
+    @cached_property
+    def sense_signal(self) -> float:
+        """Available DRAM sense signal (V); full rail for SRAM."""
+        if not self.cell.is_dram:
+            return self.periph.vdd
+        assert self.cell.storage_cap is not None
+        return charge_share_signal(
+            self.cell.storage_cap, self.bitline_capacitance, self.cell.vdd_cell
+        )
+
+    @cached_property
+    def t_bitline(self) -> float:
+        """Bitline signal development time after the wordline rises (s)."""
+        if self.cell.is_dram:
+            # Charge redistribution through the access device and bitline.
+            assert self.cell.storage_cap is not None
+            r_access = self.cell.access_r_channel / self.cell.access_width
+            c_share = (
+                self.cell.storage_cap
+                * self.bitline_capacitance
+                / (self.cell.storage_cap + self.bitline_capacitance)
+            )
+            return _T_SETTLE * (
+                r_access + self.bitline_resistance / 2.0
+            ) * c_share
+        # SRAM: constant-current discharge to the sense swing plus the
+        # distributed bitline RC.
+        swing = 0.10 * self.periph.vdd
+        discharge = self.bitline_capacitance * swing / self.cell.read_current
+        return discharge + 0.38 * self.bitline_resistance * self.bitline_capacitance
+
+    @cached_property
+    def t_sense(self) -> float:
+        """Sense-amplifier latching (and, for DRAM, restore) time (s)."""
+        if self.cell.is_dram:
+            try:
+                return self.sense_amp.dram_delay(
+                    self.bitline_capacitance,
+                    self.sense_signal,
+                    self.cell.vdd_cell,
+                )
+            except ValueError as exc:
+                raise InfeasibleSubarray(str(exc)) from exc
+        return self.sense_amp.sram_delay()
+
+    @cached_property
+    def t_writeback(self) -> float:
+        """DRAM cell-restore time after the bitline reaches full rail (s).
+
+        Zero for SRAM (reads are non-destructive).  The wordline must stay
+        up this long after sensing; it extends the row cycle, not the
+        access time.
+        """
+        if not self.cell.is_dram:
+            return 0.0
+        assert self.cell.storage_cap is not None
+        r_access = self.cell.access_r_channel / self.cell.access_width
+        return _T_SETTLE * _RESTORE_SLOWDOWN * r_access * self.cell.storage_cap
+
+    @cached_property
+    def t_precharge(self) -> float:
+        """Bitline precharge/equalize time (s).
+
+        DRAM bitlines must settle to well within the sense margin (their
+        level *is* the reference for the next charge share), so they pay a
+        precision settling factor; SRAM precharge only needs to erase the
+        small read swing.
+        """
+        w_pre = _PRECHARGE_WIDTH_F * self.tech.feature_size
+        r_pre = self.periph.r_eff / w_pre
+        swing_factor = 0.5 if self.cell.is_dram else 0.10
+        settle = _T_SETTLE_PRECISE if self.cell.is_dram else _T_SETTLE
+        c = self.bitline_capacitance
+        # Equalization shorts the pair, halving the effective excursion.
+        return settle * r_pre * c * swing_factor + 0.38 * (
+            self.bitline_resistance * c * swing_factor
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-access energies
+
+    def e_read_bitlines(self, num_sensed: int) -> float:
+        """Energy of sensing ``num_sensed`` bitline pairs on a read (J)."""
+        if self.cell.is_dram:
+            per = self.sense_amp.dram_energy(
+                self.bitline_capacitance, self.cell.vdd_cell
+            )
+        else:
+            per = self.sense_amp.sram_energy(self.bitline_capacitance)
+        return num_sensed * per
+
+    def e_write_bitlines(self, num_written: int) -> float:
+        """Energy of driving ``num_written`` bitline pairs on a write (J)."""
+        vdd = self.cell.vdd_cell
+        if self.cell.is_dram:
+            # Writes flip sensed bitlines to the new data: full-swing on
+            # roughly half the written pairs.
+            return num_written * self.bitline_capacitance * vdd * vdd * 0.5
+        return num_written * self.bitline_capacitance * vdd * vdd
+
+    @cached_property
+    def e_wordline(self) -> float:
+        """Energy of one wordline selection, including decode (J)."""
+        return self.decoder.energy
+
+    def leakage(self, num_sense_amps: int) -> float:
+        """Static leakage of this subarray (W): cells + decoder + amps."""
+        cell_leak = (
+            self.rows
+            * self.cols
+            * self.cell.access_i_off
+            * TEMPERATURE_LEAKAGE_FACTOR
+            * self.cell.access_width
+            * self.cell.vdd_cell
+        )
+        if not self.cell.is_dram:
+            # 6T cells leak through both inverters; access devices are off.
+            cell_leak *= 2.0
+        else:
+            # DRAM cell leakage drains the storage node, not the supply;
+            # it costs refresh energy (modeled separately), not static power.
+            cell_leak = 0.0
+        sa_leak = num_sense_amps * self.sense_amp.leakage()
+        return cell_leak + self.decoder.leakage + sa_leak
+
+    # ------------------------------------------------------------------ #
+    # Composite row timings
+
+    @cached_property
+    def t_row_to_sense(self) -> float:
+        """Decode + wordline + bitline + sense: data latched in the amps (s)."""
+        return (
+            self.decoder.delay + self.t_bitline + self.t_sense
+        )
+
+    @cached_property
+    def t_row_cycle(self) -> float:
+        """Full destructive-read row cycle: sense + restore + precharge (s)."""
+        return self.t_row_to_sense + self.t_writeback + self.t_precharge
+
+    def check_dram_feasible(self) -> None:
+        """Raise InfeasibleSubarray if the DRAM signal budget is violated."""
+        if self.cell.is_dram:
+            _ = self.t_sense  # triggers the signal-margin check

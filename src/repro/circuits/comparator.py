@@ -1,0 +1,92 @@
+"""Tag comparator: the hit-detection circuit of a cache access.
+
+A set-associative cache compares the stored tags of every way against the
+request tag and uses the match to steer the output mux (normal access) or
+to gate the data access (sequential access).  The standard circuit is a
+per-bit XNOR onto a precharged match line (a dynamic wide-NOR), followed
+by a match buffer: delay grows with tag width through the match-line
+capacitance, and every compare discharges ~half its XNOR outputs.
+
+Replaces the fixed few-FO4 estimate with a sized circuit so wide tags
+(small caches) and narrow tags (giant LLCs) price differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gates import horowitz
+from repro.tech.devices import DeviceParams
+
+#: Transistor width of one XNOR pull-down on the match line, in metres of
+#: device width per feature size (sized ~3 minimum widths).
+_XNOR_WIDTH_F = 6.0
+
+#: Match-line wire capacitance per compared bit (short local wire).
+_MATCHLINE_WIRE_CAP_PER_BIT = 0.08e-15
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """One ``tag_bits``-wide comparator in a given technology."""
+
+    device: DeviceParams
+    feature_size: float
+    tag_bits: int
+
+    @property
+    def _w_xnor(self) -> float:
+        return _XNOR_WIDTH_F * self.feature_size
+
+    @property
+    def match_line_cap(self) -> float:
+        """Capacitance of the precharged match line (F)."""
+        per_bit = (
+            self.device.c_drain * self._w_xnor
+            + _MATCHLINE_WIRE_CAP_PER_BIT
+        )
+        return self.tag_bits * per_bit
+
+    @property
+    def delay(self) -> float:
+        """Evaluate delay: one pull-down discharging the match line, plus
+        the match buffer (s)."""
+        r_pull = self.device.r_eff / self._w_xnor
+        tau = r_pull * self.match_line_cap
+        evaluate = horowitz(0.0, tau)
+        buffer = 2.0 * self.device.fo4
+        return evaluate + buffer
+
+    @property
+    def energy(self) -> float:
+        """Energy per compare (J): precharge + ~half the XNOR outputs
+        toggling + the match line swing."""
+        vdd = self.device.vdd
+        xnor_internal = (
+            0.5
+            * self.tag_bits
+            * self._w_xnor
+            * (self.device.c_gate + self.device.c_drain)
+            * vdd
+            * vdd
+        )
+        match_line = self.match_line_cap * vdd * vdd
+        return xnor_internal + match_line
+
+    def leakage(self) -> float:
+        """Static leakage of the comparator (W)."""
+        return self.device.leakage_power(self.tag_bits * self._w_xnor) * 0.5
+
+
+def way_select_delay(
+    device: DeviceParams, feature_size: float, tag_bits: int, ways: int
+) -> float:
+    """Tag compare plus way-select mux enable for an ``ways``-way set (s).
+
+    All comparators evaluate in parallel; the winner's output must then
+    drive the select of a ``ways``-input mux.
+    """
+    comparator = Comparator(device, feature_size, tag_bits)
+    mux_load = ways * 4.0 * feature_size * device.c_gate
+    mux_tau = device.r_eff / (4.0 * feature_size) * mux_load
+    return comparator.delay + horowitz(0.0, mux_tau)

@@ -1,0 +1,97 @@
+"""Orion-style crossbar delay/energy model (Wang et al., MICRO 2002).
+
+The LLC study connects the 8 L2 banks on the core die to the 8 L3 banks on
+the stacked die through a crossbar implemented on the core die (paper
+section 3.1); CACTI-D incorporates an Orion-like model for its delay and
+energy.  A matrix crossbar of N inputs x M outputs of ``width`` bits is a
+grid of input and output lines with a tristate connector at each crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.drivers import WireLoad, build_chain
+from repro.circuits.repeaters import repeated_wire
+from repro.tech.nodes import Technology
+
+#: Tristate connector transistor width in feature sizes.
+_CONNECTOR_WIDTH_F = 12.0
+
+#: Track pitch multiplier: control + shielding overhead per signal track.
+_TRACK_OVERHEAD = 1.5
+
+
+@dataclass(frozen=True)
+class CrossbarMetrics:
+    """Per-traversal properties of one crossbar design."""
+
+    delay: float  #: input-port to output-port latency (s)
+    energy_per_bit: float  #: dynamic energy per transferred bit (J)
+    leakage: float  #: total static leakage (W)
+    area: float  #: layout area (m^2)
+    width_bits: int
+
+    def energy_per_transfer(self, bits: int | None = None) -> float:
+        """Energy to move one flit of ``bits`` (default: full width)."""
+        n = self.width_bits if bits is None else bits
+        return self.energy_per_bit * n
+
+
+def design_crossbar(
+    tech: Technology,
+    num_inputs: int,
+    num_outputs: int,
+    width_bits: int,
+    device_type: str = "hp",
+) -> CrossbarMetrics:
+    """Design an ``num_inputs x num_outputs`` crossbar of ``width_bits``."""
+    device = tech.device(device_type)
+    wire = tech.global_
+    f = tech.feature_size
+
+    track = wire.pitch * _TRACK_OVERHEAD
+    # Input lines span all output columns and vice versa.
+    in_len = num_outputs * width_bits * track
+    out_len = num_inputs * width_bits * track
+    area = in_len * out_len / width_bits  # grid area of the full matrix
+
+    w_conn = _CONNECTOR_WIDTH_F * f
+    c_connector = w_conn * device.c_drain
+
+    # Input line: driven from the port buffer, loaded by the wire plus one
+    # connector drain per output column.
+    c_in_line = wire.c_per_m * in_len + num_outputs * c_connector
+    r_in_line = wire.r_per_m * in_len
+    in_chain = build_chain(device, f, c_load=num_outputs * c_connector,
+                           wire=WireLoad(r_in_line, wire.c_per_m * in_len))
+
+    # Output line: driven through one connector, loaded by wire + port cap.
+    c_out_line = wire.c_per_m * out_len + num_inputs * c_connector
+    r_conn = device.r_eff / w_conn
+    tau_out = r_conn * c_out_line + 0.38 * wire.r_per_m * out_len * (
+        wire.c_per_m * out_len
+    )
+    out_delay = 0.69 * tau_out
+
+    vdd = device.vdd
+    energy_per_bit = (c_in_line + c_out_line + w_conn * device.c_gate) * vdd * vdd
+
+    # Tristate connectors sit in series stacks and are mostly cut off;
+    # only a small fraction of the matrix leaks meaningfully.
+    crossings = num_inputs * num_outputs * width_bits
+    leakage = crossings * device.leakage_power(w_conn) * 0.1
+    leakage += (num_inputs + num_outputs) * width_bits * in_chain.leakage
+
+    # Long lines get repeated if the span warrants it; account for the
+    # better of raw RC vs repeated delay.
+    rep = repeated_wire(device, wire, f)
+    in_line_delay = min(in_chain.delay, in_chain.delay / 2.0 + rep.delay(in_len))
+
+    return CrossbarMetrics(
+        delay=in_line_delay + out_delay,
+        energy_per_bit=energy_per_bit,
+        leakage=leakage,
+        area=area,
+        width_bits=width_bits,
+    )

@@ -1,0 +1,132 @@
+"""Optimally repeated wires, with the max-repeater-delay derating knob.
+
+Long H-tree and crossbar wires are driven through inserted repeaters.  The
+classic closed forms give the delay-optimal repeater size and spacing; the
+``max_repeater_delay_penalty`` optimization variable (paper section 2.4)
+lets the optimizer trade delay for energy by shrinking and spreading the
+repeaters as long as the resulting delay stays within the allowed
+percentage of the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.gates import MIN_WIDTH_F
+from repro.tech.devices import DeviceParams
+from repro.tech.wires import WireParams
+
+#: Elmore weighting constants for a repeater segment.
+_KD = 0.69
+_KW = 0.38
+
+#: Grid explored when derating repeaters for energy (size and spacing
+#: multipliers relative to the delay-optimal design).
+_DERATE_SIZES = (1.0, 0.8, 0.65, 0.5, 0.4, 0.3, 0.22, 0.16)
+_DERATE_SPACINGS = (1.0, 1.25, 1.6, 2.0, 2.5, 3.2, 4.0)
+
+
+@dataclass(frozen=True)
+class RepeatedWireDesign:
+    """A repeated-wire design: per-metre delay, energy, leakage, area."""
+
+    device: DeviceParams
+    wire: WireParams
+    repeater_width: float  #: NMOS+PMOS total width of each repeater (m)
+    spacing: float  #: distance between repeaters (m)
+    delay_per_m: float  #: s/m
+    energy_per_m: float  #: J/m per full-swing transition
+    leakage_per_m: float  #: W/m
+    area_per_m: float  #: repeater layout area per metre of wire (m^2/m)
+
+    def delay(self, length: float) -> float:
+        return self.delay_per_m * length
+
+    def energy(self, length: float) -> float:
+        return self.energy_per_m * length
+
+    def leakage(self, length: float) -> float:
+        return self.leakage_per_m * length
+
+    def area(self, length: float) -> float:
+        return self.area_per_m * length
+
+
+def _segment_delay(device: DeviceParams, wire: WireParams, width: float,
+                   spacing: float) -> float:
+    """Elmore delay of one repeater segment of the given design (s)."""
+    r_d = device.r_eff / (width / (1.0 + device.n_to_p_ratio))
+    c_g = width * device.c_gate
+    c_d = width * device.c_drain
+    r_w = wire.r_per_m * spacing
+    c_w = wire.c_per_m * spacing
+    return _KD * r_d * (c_d + c_w + c_g) + _KW * r_w * c_w + _KD * r_w * c_g
+
+
+def _evaluate(device: DeviceParams, wire: WireParams, width: float,
+              spacing: float, feature_size: float) -> RepeatedWireDesign:
+    delay_per_m = _segment_delay(device, wire, width, spacing) / spacing
+    vdd = device.vdd
+    c_rep_per_m = width * (device.c_gate + device.c_drain) / spacing
+    energy_per_m = (wire.c_per_m + c_rep_per_m) * vdd * vdd
+    leak_per_m = device.leakage_power(width / 2.0) / spacing
+    # Each repeater is an inverter folded into a standard-cell row.
+    rep_area = width * 4.0 * feature_size
+    return RepeatedWireDesign(
+        device=device,
+        wire=wire,
+        repeater_width=width,
+        spacing=spacing,
+        delay_per_m=delay_per_m,
+        energy_per_m=energy_per_m,
+        leakage_per_m=leak_per_m,
+        area_per_m=rep_area / spacing,
+    )
+
+
+def optimal_repeated_wire(
+    device: DeviceParams, wire: WireParams, feature_size: float
+) -> RepeatedWireDesign:
+    """Delay-optimal repeater size and spacing for ``wire`` (closed form)."""
+    # Width-normalized driver quantities: R_d = r_eff_inv / W, C = c * W.
+    r_unit = device.r_eff * (1.0 + device.n_to_p_ratio)
+    c_gd = device.c_gate + device.c_drain
+    spacing = math.sqrt(
+        2.0 * r_unit * c_gd / (wire.r_per_m * wire.c_per_m)
+    )
+    width = math.sqrt(
+        r_unit * wire.c_per_m / (wire.r_per_m * device.c_gate)
+    )
+    width = max(width, MIN_WIDTH_F * feature_size)
+    return _evaluate(device, wire, width, spacing, feature_size)
+
+
+def repeated_wire(
+    device: DeviceParams,
+    wire: WireParams,
+    feature_size: float,
+    max_delay_penalty: float = 0.0,
+) -> RepeatedWireDesign:
+    """Minimum-energy repeated wire within ``max_delay_penalty`` of optimal.
+
+    ``max_delay_penalty`` is fractional (0.3 allows 30 % worse delay than
+    the best-delay repeater solution) -- the paper's
+    ``max_repeater_delay_constraint`` internal variable.
+    """
+    best = optimal_repeated_wire(device, wire, feature_size)
+    if max_delay_penalty <= 0.0:
+        return best
+    budget = best.delay_per_m * (1.0 + max_delay_penalty)
+    chosen = best
+    for s in _DERATE_SIZES:
+        for m in _DERATE_SPACINGS:
+            width = max(best.repeater_width * s,
+                        MIN_WIDTH_F * feature_size)
+            cand = _evaluate(device, wire, width, best.spacing * m,
+                             feature_size)
+            if cand.delay_per_m <= budget and (
+                cand.energy_per_m < chosen.energy_per_m
+            ):
+                chosen = cand
+    return chosen

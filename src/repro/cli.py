@@ -1,0 +1,157 @@
+"""Command-line interface, in the spirit of the original CACTI tool.
+
+Usage::
+
+    python -m repro cache --capacity 2M --assoc 8 --tech lp-dram
+    python -m repro main-memory --capacity 1G --node 78 --pins 8
+    python -m repro validate-ddr3
+    python -m repro table3
+
+Sizes accept K/M/G suffixes (powers of two).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.array.mainmem import MainMemorySpec
+from repro.core.cacti import solve, solve_main_memory
+from repro.core.config import (
+    DENSITY_OPTIMIZED,
+    ENERGY_DELAY_OPTIMIZED,
+    AccessMode,
+    MemorySpec,
+    OptimizationTarget,
+)
+from repro.tech.cells import CellTech
+
+_PRESETS = {
+    "balanced": OptimizationTarget(),
+    "density": DENSITY_OPTIMIZED,
+    "energy-delay": ENERGY_DELAY_OPTIMIZED,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse '32K', '2M', '1G' (powers of two) or a raw integer."""
+    text = text.strip().upper()
+    multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if text and text[-1] in multipliers:
+        if text[-1] == text:
+            raise ValueError(f"no number in size {text!r}")
+        return int(float(text[:-1]) * multipliers[text[-1]])
+    return int(text)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CACTI-D reproduction: memory-hierarchy modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cache = sub.add_parser("cache", help="solve a cache or plain memory")
+    cache.add_argument("--capacity", required=True, type=parse_size,
+                       help="e.g. 32K, 2M, 192M")
+    cache.add_argument("--block", type=parse_size, default=64)
+    cache.add_argument("--assoc", type=int, default=8,
+                       help="associativity; 0 for a plain RAM")
+    cache.add_argument("--banks", type=int, default=1)
+    cache.add_argument("--node", type=float, default=32.0,
+                       help="feature size in nm (32-90)")
+    cache.add_argument("--tech", default="sram",
+                       choices=[t.value for t in CellTech])
+    cache.add_argument("--sequential", action="store_true",
+                       help="tag-then-data access mode")
+    cache.add_argument("--sleep-transistors", action="store_true")
+    cache.add_argument("--optimize", default="balanced",
+                       choices=sorted(_PRESETS))
+
+    mm = sub.add_parser("main-memory", help="solve a main-memory DRAM chip")
+    mm.add_argument("--capacity", required=True, type=parse_size,
+                    help="bits, e.g. 1G = 1 Gb")
+    mm.add_argument("--node", type=float, default=32.0)
+    mm.add_argument("--banks", type=int, default=8)
+    mm.add_argument("--pins", type=int, default=8)
+    mm.add_argument("--burst", type=int, default=8)
+    mm.add_argument("--page", type=parse_size, default=8192,
+                    help="page size in bits")
+
+    sub.add_parser("validate-ddr3",
+                   help="reproduce the paper's Table 2 validation")
+    sub.add_parser("table3", help="solve the LLC study's Table 3 columns")
+    return parser
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    spec = MemorySpec(
+        capacity_bytes=args.capacity,
+        block_bytes=args.block,
+        associativity=args.assoc or None,
+        nbanks=args.banks,
+        node_nm=args.node,
+        cell_tech=CellTech(args.tech),
+        access_mode=(AccessMode.SEQUENTIAL if args.sequential
+                     else AccessMode.NORMAL),
+        sleep_transistors=args.sleep_transistors,
+    )
+    print(solve(spec, _PRESETS[args.optimize]).summary())
+    return 0
+
+
+def _run_main_memory(args: argparse.Namespace) -> int:
+    spec = MainMemorySpec(
+        capacity_bits=args.capacity,
+        nbanks=args.banks,
+        data_pins=args.pins,
+        burst_length=args.burst,
+        page_bits=args.page,
+    )
+    print(solve_main_memory(spec, node_nm=args.node).summary())
+    return 0
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    del args
+    from repro.validation.compare import validate_ddr3
+
+    print(validate_ddr3().report())
+    return 0
+
+
+def _run_table3(args: argparse.Namespace) -> int:
+    del args
+    from repro.study.table3 import solve_table3
+
+    for name, row in solve_table3().items():
+        cap = row.capacity_bytes
+        cap_str = (f"{cap >> 20}MB" if cap >= 1 << 20 else f"{cap >> 10}KB")
+        print(
+            f"{name:<12}{cap_str:>8}  access={row.access_cycles} cyc  "
+            f"cycle={row.cycle_cycles} cyc  area/bank={row.area_mm2:.2f} mm2 "
+            f"leak={row.leakage_w:.3f} W  refresh={row.refresh_w:.4f} W  "
+            f"E_rd={row.e_read_nj:.2f} nJ"
+        )
+    return 0
+
+
+_HANDLERS = {
+    "cache": _run_cache,
+    "main-memory": _run_main_memory,
+    "validate-ddr3": _run_validate,
+    "table3": _run_table3,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

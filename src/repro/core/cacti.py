@@ -1,0 +1,179 @@
+"""Public CACTI-D solve API.
+
+Entry points:
+
+* :func:`solve` -- solve a cache or plain memory described by a
+  :class:`~repro.core.config.MemorySpec`; caches get a tag array solved
+  alongside the data array and composed per the access mode.
+* :func:`solve_main_memory` -- solve a commodity main-memory DRAM chip
+  described by a :class:`~repro.array.mainmem.MainMemorySpec`, returning
+  the datasheet-style timing interface and per-command energies.
+* :class:`CactiD` -- a small facade caching the technology object across
+  solves at one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.array.mainmem import (
+    MainMemoryEnergies,
+    MainMemorySpec,
+    MainMemoryTiming,
+    derive_energies,
+    derive_timing,
+)
+from repro.array.organization import ArrayMetrics, ArraySpec
+from repro.core.config import (
+    DENSITY_OPTIMIZED,
+    MemorySpec,
+    OptimizationTarget,
+)
+from repro.core.optimizer import optimize
+from repro.core.results import Solution
+from repro.tech.nodes import Technology, technology
+
+
+#: SEC-DED ECC width: 8 check bits per 64 data bits.
+_ECC_FACTOR_NUM, _ECC_FACTOR_DEN = 9, 8
+
+
+def data_array_spec(spec: MemorySpec) -> ArraySpec:
+    """The low-level data-array specification of a memory spec.
+
+    With ``ecc`` enabled the array stores and moves 72 bits per 64 data
+    bits (SEC-DED); tags are assumed parity-protected and unchanged.
+    """
+    capacity_bits = spec.capacity_bytes * 8
+    output_bits = spec.block_bytes * 8
+    if spec.ecc:
+        capacity_bits = capacity_bits * _ECC_FACTOR_NUM // _ECC_FACTOR_DEN
+        output_bits = output_bits * _ECC_FACTOR_NUM // _ECC_FACTOR_DEN
+    return ArraySpec(
+        capacity_bits=capacity_bits,
+        output_bits=output_bits,
+        assoc=spec.associativity or 1,
+        nbanks=spec.nbanks,
+        cell_tech=spec.cell_tech,
+        periph_device_type=spec.periphery,
+        sleep_transistors=spec.sleep_transistors,
+    )
+
+
+def tag_array_spec(spec: MemorySpec) -> ArraySpec:
+    """The low-level tag-array specification of a cache spec."""
+    if not spec.is_cache:
+        raise ValueError("plain memories have no tag array")
+    ways = spec.associativity or 1
+    tag_bits = spec.tag_bits
+    return ArraySpec(
+        capacity_bits=spec.sets * ways * tag_bits,
+        output_bits=ways * tag_bits,
+        assoc=1,
+        nbanks=spec.nbanks,
+        cell_tech=spec.tag_technology,
+        periph_device_type=spec.periphery,
+        sleep_transistors=spec.sleep_transistors,
+    )
+
+
+def solve(
+    spec: MemorySpec, target: OptimizationTarget | None = None
+) -> Solution:
+    """Solve ``spec``, returning the optimizer's best design point."""
+    target = target or OptimizationTarget()
+    tech = technology(spec.node_nm)
+    data = optimize(tech, data_array_spec(spec), target)
+    tag = None
+    if spec.is_cache:
+        tag = optimize(tech, tag_array_spec(spec), target)
+    return Solution(spec=spec, data=data, tag=tag)
+
+
+@dataclass(frozen=True)
+class MainMemorySolution:
+    """A solved main-memory DRAM chip: array + interface views."""
+
+    spec: MainMemorySpec
+    metrics: ArrayMetrics
+    timing: MainMemoryTiming
+    energies: MainMemoryEnergies
+
+    @property
+    def area_mm2(self) -> float:
+        return self.metrics.area * 1e6
+
+    @property
+    def area_efficiency(self) -> float:
+        return self.metrics.area_efficiency
+
+    def summary(self) -> str:
+        t, e = self.timing, self.energies
+        gb = self.spec.capacity_bits / 2**30
+        lines = [
+            f"capacity        : {gb:.0f} Gb x{self.spec.data_pins}, "
+            f"{self.spec.nbanks} banks, BL{self.spec.burst_length}",
+            f"area efficiency : {self.area_efficiency * 100:.0f}%",
+            f"tRCD            : {t.t_rcd * 1e9:.1f} ns",
+            f"CAS latency     : {t.t_cas * 1e9:.1f} ns",
+            f"tRP             : {t.t_rp * 1e9:.1f} ns",
+            f"tRC             : {t.t_rc * 1e9:.1f} ns",
+            f"tRRD            : {t.t_rrd * 1e9:.1f} ns",
+            f"ACTIVATE energy : {e.e_activate * 1e9:.2f} nJ",
+            f"READ energy     : {e.e_read * 1e9:.2f} nJ",
+            f"WRITE energy    : {e.e_write * 1e9:.2f} nJ",
+            f"refresh power   : {e.p_refresh * 1e3:.2f} mW",
+            f"standby power   : {e.p_standby * 1e3:.2f} mW",
+        ]
+        return "\n".join(lines)
+
+
+def solve_main_memory(
+    spec: MainMemorySpec,
+    node_nm: float,
+    target: OptimizationTarget | None = None,
+    clock_period: float = 0.0,
+) -> MainMemorySolution:
+    """Solve a main-memory DRAM chip at ``node_nm``.
+
+    Commodity parts default to the density-optimized preset because of the
+    premium on price per bit (paper section 2.5).
+    """
+    target = target or DENSITY_OPTIMIZED
+    tech = technology(node_nm)
+    metrics = optimize(tech, spec.array_spec(), target)
+    timing = derive_timing(spec, metrics, clock_period)
+    vdd_cell = tech.cell(spec.array_spec().cell_tech, "lstp").vdd_cell
+    energies = derive_energies(spec, metrics, vdd_cell)
+    return MainMemorySolution(
+        spec=spec, metrics=metrics, timing=timing, energies=energies
+    )
+
+
+class CactiD:
+    """Facade for repeated solves at one technology node."""
+
+    def __init__(self, node_nm: float = 32.0):
+        self.node_nm = node_nm
+
+    @cached_property
+    def technology(self) -> Technology:
+        return technology(self.node_nm)
+
+    def solve(
+        self, spec: MemorySpec, target: OptimizationTarget | None = None
+    ) -> Solution:
+        if spec.node_nm != self.node_nm:
+            raise ValueError(
+                f"spec is at {spec.node_nm} nm, facade at {self.node_nm} nm"
+            )
+        return solve(spec, target)
+
+    def solve_main_memory(
+        self,
+        spec: MainMemorySpec,
+        target: OptimizationTarget | None = None,
+        clock_period: float = 0.0,
+    ) -> MainMemorySolution:
+        return solve_main_memory(spec, self.node_nm, target, clock_period)

@@ -1,0 +1,123 @@
+"""Solution optimization (paper section 2.4).
+
+CACTI 5 changed the optimization flow: rather than a single fixed figure
+of merit, the tool first collects *all* feasible organizations, keeps the
+ones whose area is within a user-supplied percentage of the most
+area-efficient solution (max area constraint), narrows to those whose
+access time is within a percentage of the fastest remaining solution (max
+access time constraint), and finally ranks that subset by a normalized,
+weighted combination of dynamic energy, leakage power, random cycle time,
+and multisubbank interleave cycle time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.array.organization import (
+    ArrayMetrics,
+    ArraySpec,
+    InfeasibleOrganization,
+    InfeasibleSubarray,
+    build_organization,
+    enumerate_orgs,
+)
+from repro.core.config import OptimizationTarget
+from repro.tech.nodes import Technology
+
+
+class NoFeasibleSolution(RuntimeError):
+    """No partitioning tuple could realize the requested array."""
+
+
+def feasible_designs(
+    tech: Technology, spec: ArraySpec, orgs: Iterable | None = None
+) -> list[ArrayMetrics]:
+    """Evaluate every feasible partitioning of ``spec``."""
+    designs = []
+    for org in orgs if orgs is not None else enumerate_orgs(spec):
+        try:
+            designs.append(build_organization(tech, spec, org))
+        except (InfeasibleOrganization, InfeasibleSubarray):
+            continue
+    if not designs:
+        raise NoFeasibleSolution(
+            f"no feasible organization for {spec.capacity_bits} bits of "
+            f"{spec.cell_tech.value} in {spec.nbanks} bank(s)"
+        )
+    return designs
+
+
+def filter_constraints(
+    designs: list[ArrayMetrics], target: OptimizationTarget
+) -> list[ArrayMetrics]:
+    """Apply the staged max-area then max-access-time filters."""
+    best_area = min(d.area for d in designs)
+    within_area = [
+        d for d in designs
+        if d.area <= best_area * (1.0 + target.max_area_fraction)
+    ]
+    best_time = min(d.t_access for d in within_area)
+    return [
+        d for d in within_area
+        if d.t_access <= best_time * (1.0 + target.max_acctime_fraction)
+    ]
+
+
+def rank(
+    designs: list[ArrayMetrics], target: OptimizationTarget
+) -> list[ArrayMetrics]:
+    """Sort candidates by the normalized weighted objective, best first."""
+
+    def floor(values: Iterable[float]) -> float:
+        smallest = min(values)
+        return smallest if smallest > 0.0 else 1e-30
+
+    min_dyn = floor(d.e_read_access for d in designs)
+    min_leak = floor(d.p_leakage + d.p_refresh for d in designs)
+    min_cycle = floor(d.t_random_cycle for d in designs)
+    min_interleave = floor(d.t_interleave for d in designs)
+
+    def score(d: ArrayMetrics) -> float:
+        return (
+            target.weight_dynamic * d.e_read_access / min_dyn
+            + target.weight_leakage * (d.p_leakage + d.p_refresh) / min_leak
+            + target.weight_cycle * d.t_random_cycle / min_cycle
+            + target.weight_interleave * d.t_interleave / min_interleave
+        )
+
+    return sorted(designs, key=score)
+
+
+def optimize(
+    tech: Technology,
+    spec: ArraySpec,
+    target: OptimizationTarget,
+) -> ArrayMetrics:
+    """Full pipeline: enumerate, filter, rank; return the best design."""
+    spec = _with_repeater_penalty(spec, target)
+    designs = feasible_designs(tech, spec)
+    constrained = filter_constraints(designs, target)
+    return rank(constrained, target)[0]
+
+
+def pareto_solutions(
+    tech: Technology, spec: ArraySpec, target: OptimizationTarget
+) -> list[ArrayMetrics]:
+    """All constraint-satisfying designs, ranked -- the solution cloud the
+    paper plots in its Figure 1 validation bubbles."""
+    spec = _with_repeater_penalty(spec, target)
+    designs = feasible_designs(tech, spec)
+    return rank(filter_constraints(designs, target), target)
+
+
+def _with_repeater_penalty(
+    spec: ArraySpec, target: OptimizationTarget
+) -> ArraySpec:
+    if target.max_repeater_delay_penalty == spec.max_repeater_delay_penalty:
+        return spec
+    from dataclasses import replace
+
+    return replace(
+        spec, max_repeater_delay_penalty=target.max_repeater_delay_penalty
+    )

@@ -1,0 +1,189 @@
+"""Solution objects returned by CACTI-D solves.
+
+A :class:`Solution` composes the data-array metrics with (for caches) the
+tag-array metrics under the requested access mode, and exposes the
+headline quantities in convenient units (ns, nJ, mm^2, mW) alongside the
+raw SI values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.array.organization import ArrayMetrics
+from repro.core.config import AccessMode, MemorySpec
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One solved memory/cache design point."""
+
+    spec: MemorySpec
+    data: ArrayMetrics
+    tag: ArrayMetrics | None = None
+
+    # ------------------------------------------------------------------ #
+    # Timing
+
+    @cached_property
+    def _compare_delay(self) -> float:
+        """Tag compare + way-select mux enable (s), from the sized
+        comparator circuit."""
+        from repro.circuits.comparator import way_select_delay
+        from repro.tech.nodes import technology
+
+        tech = technology(self.spec.node_nm)
+        periph = tech.device(self.spec.periphery)
+        return way_select_delay(
+            periph,
+            tech.feature_size,
+            self.spec.tag_bits,
+            self.spec.associativity or 1,
+        )
+
+    @cached_property
+    def access_time(self) -> float:
+        """Address-in to data-out latency of the full structure (s)."""
+        if self.tag is None:
+            return self.data.t_access
+        tag_path = self.tag.t_access + self._compare_delay
+        if self.spec.access_mode is AccessMode.SEQUENTIAL:
+            return tag_path + self.data.t_access
+        return max(self.data.t_access, tag_path)
+
+    @cached_property
+    def random_cycle_time(self) -> float:
+        """Back-to-back access pitch to the same subbank (s)."""
+        cycles = [self.data.t_random_cycle]
+        if self.tag is not None:
+            cycles.append(self.tag.t_random_cycle)
+        return max(cycles)
+
+    @cached_property
+    def interleave_cycle_time(self) -> float:
+        """Multisubbank interleave cycle time (s): the pitch at which
+        accesses to *different* subbanks can be issued."""
+        cycles = [self.data.t_interleave]
+        if self.tag is not None:
+            cycles.append(self.tag.t_interleave)
+        return max(cycles)
+
+    # ------------------------------------------------------------------ #
+    # Energy and power
+
+    @cached_property
+    def e_read(self) -> float:
+        """Dynamic energy of one read access (J)."""
+        tag = self.tag.e_read_access if self.tag is not None else 0.0
+        if (
+            self.tag is not None
+            and self.spec.access_mode is AccessMode.SEQUENTIAL
+        ):
+            # Sequential mode senses only the selected way's data.
+            ways = self.spec.associativity or 1
+            data = (
+                self.data.e_activate / ways
+                + self.data.e_read_column
+                + self.data.e_precharge / ways
+            )
+            return tag + data
+        return tag + self.data.e_read_access
+
+    @cached_property
+    def e_write(self) -> float:
+        """Dynamic energy of one write access (J)."""
+        tag = self.tag.e_read_access if self.tag is not None else 0.0
+        return tag + self.data.e_write_access
+
+    @cached_property
+    def p_leakage(self) -> float:
+        """Total static leakage power (W)."""
+        tag = self.tag.p_leakage if self.tag is not None else 0.0
+        return tag + self.data.p_leakage
+
+    def p_leakage_at(self, temperature_k: float) -> float:
+        """Leakage rescaled to a die temperature other than the default
+        operating point (W)."""
+        from repro.models.leakage import rescale_leakage
+
+        return rescale_leakage(self.p_leakage, temperature_k)
+
+    @cached_property
+    def p_refresh(self) -> float:
+        """Total DRAM refresh power (W); zero for SRAM."""
+        tag = self.tag.p_refresh if self.tag is not None else 0.0
+        return tag + self.data.p_refresh
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+
+    @cached_property
+    def area(self) -> float:
+        """Total area (m^2)."""
+        tag = self.tag.area if self.tag is not None else 0.0
+        return tag + self.data.area
+
+    @cached_property
+    def area_efficiency(self) -> float:
+        """Memory-cell area as a fraction of total area."""
+        cell_area = self.data.area_efficiency * self.data.area
+        if self.tag is not None:
+            cell_area += self.tag.area_efficiency * self.tag.area
+        return cell_area / self.area
+
+    # ------------------------------------------------------------------ #
+    # Unit-friendly views
+
+    @property
+    def access_time_ns(self) -> float:
+        return self.access_time * 1e9
+
+    @property
+    def random_cycle_ns(self) -> float:
+        return self.random_cycle_time * 1e9
+
+    @property
+    def interleave_cycle_ns(self) -> float:
+        return self.interleave_cycle_time * 1e9
+
+    @property
+    def e_read_nj(self) -> float:
+        return self.e_read * 1e9
+
+    @property
+    def e_write_nj(self) -> float:
+        return self.e_write * 1e9
+
+    @property
+    def p_leakage_mw(self) -> float:
+        return self.p_leakage * 1e3
+
+    @property
+    def p_refresh_mw(self) -> float:
+        return self.p_refresh * 1e3
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area * 1e6
+
+    def summary(self) -> str:
+        """Human-readable one-design summary for examples and reports."""
+        lines = [
+            f"capacity        : {self.spec.capacity_bytes / 1024:.0f} KB",
+            f"cell technology : {self.spec.cell_tech.value}",
+            f"organization    : ndwl={self.data.org.ndwl} "
+            f"ndbl={self.data.org.ndbl} nspd={self.data.org.nspd} "
+            f"ndcm={self.data.org.ndcm} ndsam={self.data.org.ndsam}",
+            f"subarray        : {self.data.rows} x {self.data.cols}",
+            f"access time     : {self.access_time_ns:.3f} ns",
+            f"random cycle    : {self.random_cycle_ns:.3f} ns",
+            f"interleave cycle: {self.interleave_cycle_ns:.3f} ns",
+            f"read energy     : {self.e_read_nj:.3f} nJ",
+            f"write energy    : {self.e_write_nj:.3f} nJ",
+            f"leakage power   : {self.p_leakage_mw:.2f} mW",
+            f"refresh power   : {self.p_refresh_mw:.3f} mW",
+            f"area            : {self.area_mm2:.2f} mm^2 "
+            f"({self.area_efficiency * 100:.0f}% efficient)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""DRAM operational models: commands, page policies, interfaces."""
+
+from repro.dram.interface import (
+    InterfaceKind,
+    LineMapping,
+    MainMemoryLikeInterface,
+    SramLikeInterface,
+    interleaving_speedup,
+    main_memory_like,
+    page_hit_ratio,
+    sram_like,
+)
+from repro.dram.operations import AccessResult, BankState, Command, DramBank
+from repro.dram.page_policy import (
+    ClosedPagePolicy,
+    OpenPagePolicy,
+    PagePolicy,
+    crossover_hit_ratio,
+    expected_access_latency,
+)
+
+__all__ = [
+    "AccessResult",
+    "BankState",
+    "ClosedPagePolicy",
+    "Command",
+    "DramBank",
+    "InterfaceKind",
+    "LineMapping",
+    "MainMemoryLikeInterface",
+    "OpenPagePolicy",
+    "PagePolicy",
+    "SramLikeInterface",
+    "crossover_hit_ratio",
+    "expected_access_latency",
+    "interleaving_speedup",
+    "main_memory_like",
+    "page_hit_ratio",
+    "sram_like",
+]

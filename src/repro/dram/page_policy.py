@@ -1,0 +1,72 @@
+"""Page policies for DRAM operation (paper section 2.3.4).
+
+Once a page is activated, the *open page* policy keeps it latched hoping
+that near-term requests hit the same page -- saving tRCD+tRP on hits but
+paying an extra tRP on conflicts and leaking sense-amp power over time.
+The *closed page* policy proactively precharges after every access, which
+wins when requests rarely hit an open page (e.g. the interleaved random
+traffic a last-level cache sees, per the paper's section 3.4 argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PagePolicy:
+    """Base page policy; subclasses decide whether to close after access."""
+
+    name: str = "base"
+
+    def close_after_access(self, expected_hit_ratio: float) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OpenPagePolicy(PagePolicy):
+    name: str = "open"
+
+    def close_after_access(self, expected_hit_ratio: float) -> bool:
+        del expected_hit_ratio
+        return False
+
+
+@dataclass(frozen=True)
+class ClosedPagePolicy(PagePolicy):
+    name: str = "closed"
+
+    def close_after_access(self, expected_hit_ratio: float) -> bool:
+        del expected_hit_ratio
+        return True
+
+
+def expected_access_latency(
+    t_rcd: float,
+    t_cas: float,
+    t_rp: float,
+    hit_ratio: float,
+    policy: PagePolicy,
+) -> float:
+    """Mean request latency under a policy given the page-hit ratio.
+
+    Open page: hits pay CAS only; misses pay tRP (conflict) + tRCD + CAS.
+    Closed page: every access pays tRCD + CAS, with the precharge hidden.
+    This is the closed-form tradeoff behind the paper's choice of an
+    SRAM-like (effectively closed-page) interface for DRAM caches.
+    """
+    if isinstance(policy, ClosedPagePolicy):
+        return t_rcd + t_cas
+    hit = t_cas
+    miss = t_rp + t_rcd + t_cas
+    return hit_ratio * hit + (1.0 - hit_ratio) * miss
+
+
+def crossover_hit_ratio(t_rcd: float, t_cas: float, t_rp: float) -> float:
+    """Page-hit ratio above which the open policy beats the closed policy.
+
+    Setting the two expected latencies equal:
+    ``h * CAS + (1-h)(RP+RCD+CAS) = RCD + CAS``  =>  ``h = RP/(RP+RCD)``.
+    """
+    del t_cas
+    return t_rp / (t_rp + t_rcd)

@@ -1,0 +1,73 @@
+"""Area breakdown reporting.
+
+Decomposes a solved design's area into cells, decode, sensing, and
+routing so studies can see *where* the area efficiency of each cell
+technology goes -- the quantity behind paper Table 3's area-efficiency
+column and the Figure 1 bubble sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.array.organization import ArrayMetrics, _Builder
+from repro.tech.nodes import Technology
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area of one bank design (m^2, whole structure)."""
+
+    cells: float
+    wordline_drivers_and_decode: float
+    sense_amps: float
+    htree_wiring: float
+    overhead: float
+    total: float
+
+    def fractions(self) -> dict[str, float]:
+        return {
+            "cells": self.cells / self.total,
+            "decode": self.wordline_drivers_and_decode / self.total,
+            "sense": self.sense_amps / self.total,
+            "routing": self.htree_wiring / self.total,
+            "overhead": self.overhead / self.total,
+        }
+
+    def report(self) -> str:
+        rows = [
+            ("cells", self.cells),
+            ("decode + wordline drivers", self.wordline_drivers_and_decode),
+            ("sense amplifiers", self.sense_amps),
+            ("H-tree routing", self.htree_wiring),
+            ("control/overhead", self.overhead),
+            ("total", self.total),
+        ]
+        return "\n".join(
+            f"{name:<28}{area * 1e6:>10.3f} mm^2" for name, area in rows
+        )
+
+
+def area_breakdown(tech: Technology, metrics: ArrayMetrics) -> AreaBreakdown:
+    """Recompute the component areas of a solved design point."""
+    builder = _Builder(tech, metrics.spec, metrics.org)
+    sub = builder.subarray
+    nsubs = metrics.org.ndwl * metrics.org.ndbl * metrics.spec.nbanks
+
+    cells = nsubs * sub.cell_area
+    decode = nsubs * sub.decoder.area
+    # Sense strip: the height overhead times the array width.
+    sense = nsubs * (sub.height - sub.cell_array_height) * sub.width
+    routing = (
+        builder.htree_in.wiring_area + builder.htree_out.wiring_area
+    ) * 0.5 * metrics.spec.nbanks
+    accounted = cells + decode + sense + routing
+    overhead = max(metrics.area - accounted, 0.0)
+    return AreaBreakdown(
+        cells=cells,
+        wordline_drivers_and_decode=decode,
+        sense_amps=sense,
+        htree_wiring=routing,
+        overhead=overhead,
+        total=metrics.area,
+    )

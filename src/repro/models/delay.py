@@ -1,0 +1,55 @@
+"""Access-path delay breakdown reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.array.organization import ArrayMetrics
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """Stage-by-stage latency of one access (s)."""
+
+    htree_in: float
+    decode: float
+    bitline: float
+    sense: float
+    htree_out: float
+    writeback: float  #: row-cycle only, not on the access path
+    precharge: float  #: row-cycle only
+    access_time: float
+    random_cycle: float
+    interleave_cycle: float
+
+    def report(self) -> str:
+        rows = [
+            ("address H-tree in", self.htree_in),
+            ("row decode + wordline", self.decode),
+            ("bitline development", self.bitline),
+            ("sense amplify", self.sense),
+            ("data H-tree out", self.htree_out),
+            ("writeback/restore (cycle)", self.writeback),
+            ("precharge (cycle)", self.precharge),
+            ("access time", self.access_time),
+            ("random cycle time", self.random_cycle),
+            ("interleave cycle time", self.interleave_cycle),
+        ]
+        return "\n".join(
+            f"{name:<28}{t * 1e9:>9.3f} ns" for name, t in rows
+        )
+
+
+def delay_breakdown(metrics: ArrayMetrics) -> DelayBreakdown:
+    return DelayBreakdown(
+        htree_in=metrics.t_htree_in,
+        decode=metrics.t_decode,
+        bitline=metrics.t_bitline,
+        sense=metrics.t_sense,
+        htree_out=metrics.t_htree_out,
+        writeback=metrics.t_writeback,
+        precharge=metrics.t_precharge,
+        access_time=metrics.t_access,
+        random_cycle=metrics.t_random_cycle,
+        interleave_cycle=metrics.t_interleave,
+    )

@@ -1,0 +1,141 @@
+"""Memory-hierarchy power accounting (paper Figure 5(a)).
+
+Combines CACTI-D's per-structure energies and static powers with the
+simulator's event counts to produce the paper's power breakdown: L1, L2,
+crossbar, and L3 leakage + dynamic power, L3 refresh, and main-memory
+chip dynamic, standby, refresh, and bus power.
+
+The paper assumes a memory bus power of 2 mW/Gb/s (2013-era signaling),
+i.e. 2 pJ per transferred bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimStats
+
+#: Paper assumption: 2 mW/Gb/s of memory bus bandwidth = 2 pJ/bit.
+BUS_ENERGY_PER_BIT = 2e-12
+
+#: Command/address overhead of a line transfer, as extra bus bits.
+_BUS_OVERHEAD_BITS = 64
+
+
+@dataclass(frozen=True)
+class LevelEnergy:
+    """Energy/power figures of one cache level (whole structure)."""
+
+    e_read: float  #: J per read access
+    e_write: float  #: J per write access
+    p_leakage: float  #: W, all banks/instances
+    p_refresh: float = 0.0  #: W (DRAM caches)
+
+
+@dataclass(frozen=True)
+class MainMemoryEnergy:
+    """Per-chip figures plus DIMM organization."""
+
+    e_activate: float  #: J per ACTIVATE (+precharge), one chip
+    e_read: float  #: J per READ burst, one chip
+    e_write: float  #: J per WRITE burst, one chip
+    p_standby: float  #: W per chip
+    p_refresh: float  #: W per chip
+    chips_per_access: int = 8  #: x8 devices making a 64-bit channel
+    num_chips: int = 16  #: two single-ranked DIMMs of 8 devices
+
+
+@dataclass(frozen=True)
+class HierarchyEnergyModel:
+    """Everything Figure 5(a) needs, per system configuration."""
+
+    l1: LevelEnergy  #: all 16 L1 instances (8 I + 8 D)
+    l2: LevelEnergy  #: all 8 private L2s
+    crossbar_e_transfer: float  #: J per crossbar line transfer
+    crossbar_p_leakage: float
+    l3: LevelEnergy | None
+    memory: MainMemoryEnergy
+    line_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Figure 5(a): component powers in watts."""
+
+    l1_leak: float
+    l1_dyn: float
+    l2_leak: float
+    l2_dyn: float
+    crossbar_leak: float
+    crossbar_dyn: float
+    l3_leak: float
+    l3_dyn: float
+    l3_refresh: float
+    main_chip_dyn: float
+    main_standby: float
+    main_refresh: float
+    main_bus: float
+
+    @property
+    def total(self) -> float:
+        return sum(
+            getattr(self, f) for f in self.__dataclass_fields__
+        )
+
+    @property
+    def main_memory_total(self) -> float:
+        return (self.main_chip_dyn + self.main_standby + self.main_refresh
+                + self.main_bus)
+
+    def as_dict(self) -> dict[str, float]:
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+
+def hierarchy_power(
+    model: HierarchyEnergyModel, stats: SimStats, duration_s: float
+) -> PowerBreakdown:
+    """Average memory-hierarchy power over a simulated interval."""
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    c = stats.counters
+
+    def dyn(reads: int, writes: int, level: LevelEnergy) -> float:
+        return (reads * level.e_read + writes * level.e_write) / duration_s
+
+    l1_dyn = dyn(c.l1_reads, c.l1_writes, model.l1)
+    l2_dyn = dyn(c.l2_reads, c.l2_writes, model.l2)
+    xbar_dyn = c.crossbar_transfers * model.crossbar_e_transfer / duration_s
+
+    if model.l3 is not None:
+        l3_dyn = dyn(c.l3_reads, c.l3_writes, model.l3)
+        l3_leak = model.l3.p_leakage
+        l3_refresh = model.l3.p_refresh
+    else:
+        l3_dyn = l3_leak = l3_refresh = 0.0
+
+    mem = model.memory
+    accesses = c.mem_reads + c.mem_writes
+    chip_energy = (
+        c.mem_activates * mem.e_activate * mem.chips_per_access
+        + c.mem_reads * mem.e_read * mem.chips_per_access
+        + c.mem_writes * mem.e_write * mem.chips_per_access
+    )
+    main_chip_dyn = chip_energy / duration_s
+    bus_bits = accesses * (model.line_bytes * 8 + _BUS_OVERHEAD_BITS)
+    main_bus = bus_bits * BUS_ENERGY_PER_BIT / duration_s
+
+    return PowerBreakdown(
+        l1_leak=model.l1.p_leakage,
+        l1_dyn=l1_dyn,
+        l2_leak=model.l2.p_leakage,
+        l2_dyn=l2_dyn,
+        crossbar_leak=model.crossbar_p_leakage if model.l3 else 0.0,
+        crossbar_dyn=xbar_dyn if model.l3 else 0.0,
+        l3_leak=l3_leak,
+        l3_dyn=l3_dyn,
+        l3_refresh=l3_refresh,
+        main_chip_dyn=main_chip_dyn,
+        main_standby=mem.p_standby * mem.num_chips,
+        main_refresh=mem.p_refresh * mem.num_chips,
+        main_bus=main_bus,
+    )

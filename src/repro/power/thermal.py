@@ -1,0 +1,47 @@
+"""First-order stacked-die thermal estimate (paper section 4.3).
+
+The paper checks with HotSpot that stacking any of the three L3
+technologies raises temperature by less than 1.5 K between technologies,
+because even the leakiest (SRAM with long-channel devices and sleep
+transistors) dissipates only ~450 mW per 6.2 mm^2 bank.  HotSpot is not
+reproducible here; a steady-state one-dimensional thermal resistance
+model captures the same conclusion: dT = (P / A) * R_th.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Vertical thermal resistance from the stacked die through the heat
+#: sink (K*m^2/W): silicon + TIM + spreader, per unit area.
+DEFAULT_R_TH = 0.20e-4
+
+
+@dataclass(frozen=True)
+class ThermalEstimate:
+    """Steady-state temperature rise of one stacked structure."""
+
+    name: str
+    power: float  #: W
+    area: float  #: m^2
+    r_th: float = DEFAULT_R_TH
+
+    @property
+    def power_density(self) -> float:
+        """W/m^2."""
+        return self.power / self.area
+
+    @property
+    def temperature_rise(self) -> float:
+        """K above the die below."""
+        return self.power_density * self.r_th
+
+
+def temperature_spread(estimates: list[ThermalEstimate]) -> float:
+    """Max temperature difference between candidate stacked dies (K).
+
+    The paper's reported result: < 1.5 K between the SRAM, LP-DRAM, and
+    COMM-DRAM L3 options.
+    """
+    rises = [e.temperature_rise for e in estimates]
+    return max(rises) - min(rises)

@@ -1,0 +1,34 @@
+"""Multicore multithreaded timing simulator for the LLC study."""
+
+from repro.sim.cache import Cache, CacheConfig, MesiState
+from repro.sim.coherence import MesiDirectory
+from repro.sim.core import ThreadContext, thread_cpi
+from repro.sim.dram_channel import MemoryController, MemoryTimingCycles
+from repro.sim.interconnect import Crossbar
+from repro.sim.stats import (
+    BREAKDOWN_CATEGORIES,
+    AccessCounters,
+    CycleBreakdown,
+    SimStats,
+)
+from repro.sim.system import L3Config, System, SystemConfig, run_workload
+
+__all__ = [
+    "AccessCounters",
+    "BREAKDOWN_CATEGORIES",
+    "Cache",
+    "CacheConfig",
+    "Crossbar",
+    "CycleBreakdown",
+    "L3Config",
+    "MemoryController",
+    "MemoryTimingCycles",
+    "MesiDirectory",
+    "MesiState",
+    "SimStats",
+    "System",
+    "SystemConfig",
+    "ThreadContext",
+    "run_workload",
+    "thread_cpi",
+]

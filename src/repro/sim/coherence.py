@@ -1,0 +1,115 @@
+"""MESI coherence across the private per-core L2 caches.
+
+The paper's target system keeps L1/L2 private per core with a MESI
+protocol (section 3.3); the shared L3 (when present) acts as the ordering
+point.  This simplified directory tracks, per block, which cores may hold
+it, and resolves reads and writes into the MESI actions and their latency
+cost: cache-to-cache transfers for dirty data, invalidation rounds for
+upgrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cache import Cache, MesiState
+
+
+@dataclass
+class CoherenceOutcome:
+    """Result of a coherence resolution for one request."""
+
+    source_core: int | None  #: core that supplied dirty data, if any
+    invalidated: int  #: number of remote copies invalidated
+    writeback: bool  #: a dirty copy was written back toward memory
+
+
+class MesiDirectory:
+    """Directory-style MESI over the private L2s.
+
+    Tracks a sharer bitmask per block address.  The caches themselves hold
+    the authoritative line states; the directory avoids snooping every L2
+    on every access.
+    """
+
+    def __init__(self, l2s: list[Cache], block_bytes: int):
+        self._l2s = l2s
+        self._block = block_bytes
+        self._sharers: dict[int, int] = {}
+
+    def _key(self, address: int) -> int:
+        return address // self._block
+
+    def sharers(self, address: int, exclude: int | None = None) -> list[int]:
+        mask = self._sharers.get(self._key(address), 0)
+        cores = [i for i in range(len(self._l2s)) if mask >> i & 1]
+        if exclude is not None:
+            cores = [c for c in cores if c != exclude]
+        return cores
+
+    # ------------------------------------------------------------------ #
+
+    def read(self, core: int, address: int) -> CoherenceOutcome:
+        """Core ``core`` misses its L2 on a read; resolve against peers."""
+        outcome = CoherenceOutcome(source_core=None, invalidated=0,
+                                   writeback=False)
+        for peer in self.sharers(address, exclude=core):
+            line = self._l2s[peer].lookup(address)
+            if line is None:
+                self._clear(peer, address)
+                continue
+            if line.state is MesiState.MODIFIED:
+                # Dirty data supplied cache-to-cache; both become SHARED.
+                outcome.writeback = True
+            if line.state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+                self._l2s[peer].set_state(address, MesiState.SHARED)
+            if outcome.source_core is None:
+                outcome.source_core = peer
+        self._mark(core, address)
+        return outcome
+
+    def write(self, core: int, address: int) -> CoherenceOutcome:
+        """Core ``core`` wants exclusive ownership; invalidate peers."""
+        outcome = CoherenceOutcome(source_core=None, invalidated=0,
+                                   writeback=False)
+        for peer in self.sharers(address, exclude=core):
+            line = self._l2s[peer].lookup(address)
+            if line is None:
+                self._clear(peer, address)
+                continue
+            if line.state is MesiState.MODIFIED:
+                outcome.source_core = peer
+                outcome.writeback = True
+            self._l2s[peer].invalidate(address)
+            self._clear(peer, address)
+            outcome.invalidated += 1
+        self._set_exclusive(core, address)
+        return outcome
+
+    def evicted(self, core: int, address: int) -> None:
+        self._clear(core, address)
+
+    def state_for_fill(self, core: int, address: int, is_write: bool
+                       ) -> MesiState:
+        """MESI state for a newly filled line."""
+        if is_write:
+            return MesiState.MODIFIED
+        others = self.sharers(address, exclude=core)
+        return MesiState.SHARED if others else MesiState.EXCLUSIVE
+
+    # ------------------------------------------------------------------ #
+
+    def _mark(self, core: int, address: int) -> None:
+        key = self._key(address)
+        self._sharers[key] = self._sharers.get(key, 0) | (1 << core)
+
+    def _clear(self, core: int, address: int) -> None:
+        key = self._key(address)
+        mask = self._sharers.get(key, 0) & ~(1 << core)
+        if mask:
+            self._sharers[key] = mask
+        else:
+            self._sharers.pop(key, None)
+
+    def _set_exclusive(self, core: int, address: int) -> None:
+        self._sharers[self._key(address)] = 1 << core

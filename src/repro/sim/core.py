@@ -1,0 +1,55 @@
+"""Core and thread model (paper section 3.3).
+
+Each simulated core runs four hardware threads concurrently.  Following
+the paper's timing recipe: a thread executes one floating-point arithmetic
+instruction per cycle (modeling the 4-way SIMD FPU) and all other
+instructions at four cycles each on average, with up to one memory request
+per cycle issued to the L1.  Threads are in-order and block on memory.
+
+Workloads drive threads through a small event protocol:
+
+* ``("compute", instructions, cycles)`` -- retire instructions.
+* ``("mem", address, is_write)`` -- one memory reference.
+* ``("barrier",)`` -- global barrier across all threads.
+* ``("lock", lock_id, hold_cycles)`` -- critical section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sim.stats import CycleBreakdown
+
+#: CPI of floating-point arithmetic (SIMD, one per cycle).
+FP_CPI = 1.0
+
+#: Average CPI of all other instructions.
+OTHER_CPI = 4.0
+
+
+def thread_cpi(fp_fraction: float) -> float:
+    """Average cycles per instruction for a thread's instruction mix."""
+    return fp_fraction * FP_CPI + (1.0 - fp_fraction) * OTHER_CPI
+
+
+Event = tuple  # ("compute", n, cycles) | ("mem", addr, w) | ...
+
+
+@dataclass
+class ThreadContext:
+    """One hardware thread's simulation state."""
+
+    thread_id: int
+    core_id: int
+    events: Iterator[Event]
+    time: float = 0.0  #: local clock, CPU cycles
+    instructions: float = 0.0
+    breakdown: CycleBreakdown = field(default_factory=CycleBreakdown)
+    done: bool = False
+    waiting_barrier: bool = False
+
+    def retire(self, instructions: float, cycles: float) -> None:
+        self.instructions += instructions
+        self.time += cycles
+        self.breakdown.instruction += cycles

@@ -1,0 +1,96 @@
+"""Simulation statistics: cycle breakdown and event counters.
+
+The paper's Figure 4(b) splits execution cycles into six categories --
+instruction processing, L2 service, L3 service, main-memory service,
+barrier wait, and lock wait -- and Figure 5 needs per-level access counts
+to turn CACTI-D energies into power.  Both views live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cycle-breakdown categories in the paper's Figure 4(b) order.
+BREAKDOWN_CATEGORIES = (
+    "instruction",
+    "l2",
+    "l3",
+    "memory",
+    "barrier",
+    "lock",
+)
+
+
+@dataclass
+class CycleBreakdown:
+    """Per-thread (or aggregated) cycle attribution."""
+
+    instruction: float = 0.0
+    l2: float = 0.0
+    l3: float = 0.0
+    memory: float = 0.0
+    barrier: float = 0.0
+    lock: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.instruction + self.l2 + self.l3 + self.memory
+                + self.barrier + self.lock)
+
+    def add(self, other: "CycleBreakdown") -> None:
+        for name in BREAKDOWN_CATEGORIES:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def normalized(self, baseline_total: float | None = None
+                   ) -> dict[str, float]:
+        """Fractions of a reference total (defaults to own total)."""
+        ref = baseline_total if baseline_total else self.total
+        if ref <= 0:
+            return {name: 0.0 for name in BREAKDOWN_CATEGORIES}
+        return {
+            name: getattr(self, name) / ref for name in BREAKDOWN_CATEGORIES
+        }
+
+
+@dataclass
+class AccessCounters:
+    """Event counts the power model consumes."""
+
+    l1_reads: int = 0
+    l1_writes: int = 0
+    l2_reads: int = 0
+    l2_writes: int = 0
+    l3_reads: int = 0
+    l3_writes: int = 0
+    crossbar_transfers: int = 0
+    mem_activates: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    coherence_invalidations: int = 0
+
+    def add(self, other: "AccessCounters") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class SimStats:
+    """Complete result of one simulation run."""
+
+    cycles: float = 0.0  #: wall-clock CPU cycles of the run
+    instructions: float = 0.0
+    breakdown: CycleBreakdown = field(default_factory=CycleBreakdown)
+    counters: AccessCounters = field(default_factory=AccessCounters)
+    read_latency_sum: float = 0.0  #: total read latency (cycles)
+    read_count: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def average_read_latency(self) -> float:
+        """Mean latency of memory reads that left the core (cycles)."""
+        return (
+            self.read_latency_sum / self.read_count if self.read_count else 0.0
+        )

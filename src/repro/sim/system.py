@@ -1,0 +1,394 @@
+"""The simulated system: 8 multithreaded cores, private L1/L2 with MESI,
+an optional shared 8-banked stacked L3 behind a crossbar, and dual-channel
+main memory (paper Figure 2).
+
+The simulator is trace-driven and event-ordered: the thread with the
+earliest local clock executes its next workload event; shared resources
+(L3 banks, crossbar ports, DRAM banks, channel buses) are busy-time
+queues.  Synchronization (barriers, locks) follows the COTSon-style
+constraint replay the paper describes.
+
+Capacities can be scaled down by ``scale`` (with workloads scaled to
+match) so runs finish in seconds of Python while preserving the
+capacity/locality relationships that drive the paper's results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.dram.page_policy import PagePolicy
+from repro.sim.cache import Cache, CacheConfig, MesiState
+from repro.sim.coherence import MesiDirectory
+from repro.sim.core import Event, ThreadContext
+from repro.sim.dram_channel import MemoryController, MemoryTimingCycles
+from repro.sim.interconnect import Crossbar
+from repro.sim.stats import AccessCounters, SimStats
+
+#: Latency of an L2 cache-to-cache transfer beyond the L2 hit time.
+_C2C_EXTRA_CYCLES = 8
+
+
+@dataclass(frozen=True)
+class L3Config:
+    """The shared stacked L3 as the simulator sees it.
+
+    With ``subbanks`` > 1 the multisubbank interleaving of paper section
+    2.3.4 is modeled explicitly: accesses to *different* subbanks of a
+    bank pitch at ``bank_cycle`` (the interleave cycle), while a second
+    access to a *busy subbank* waits out ``subbank_cycle`` (the random
+    cycle -- for DRAM, the full destructive-read row cycle).
+    """
+
+    capacity_bytes: int
+    associativity: int
+    access_cycles: int  #: bank access latency (CPU cycles, Table 3)
+    bank_cycle: int  #: issue pitch per bank (interleave cycle)
+    nbanks: int = 8
+    block_bytes: int = 64
+    subbanks: int = 1  #: subbanks per bank sharing the address/data bus
+    subbank_cycle: int = 0  #: same-subbank reuse pitch (random cycle)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything the timing simulator needs for one system configuration."""
+
+    name: str
+    l1: CacheConfig
+    l2: CacheConfig
+    l3: L3Config | None
+    memory: MemoryTimingCycles
+    num_cores: int = 8
+    threads_per_core: int = 4
+    crossbar_cycles: int = 2
+    cpu_hz: float = 2e9
+    page_policy: PagePolicy | None = None  #: default: closed page
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_cores * self.threads_per_core
+
+
+class System:
+    """One simulated machine executing one multithreaded workload."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.l1s = [Cache(config.l1) for _ in range(config.num_cores)]
+        self.l2s = [Cache(config.l2) for _ in range(config.num_cores)]
+        self.directory = MesiDirectory(self.l2s, config.l2.block_bytes)
+        self.l3: Cache | None = None
+        self._l3_bank_ready: list[float] = []
+        self._l3_subbank_ready: list[list[float]] = []
+        if config.l3 is not None:
+            self.l3 = Cache(
+                CacheConfig(
+                    capacity_bytes=config.l3.capacity_bytes,
+                    block_bytes=config.l3.block_bytes,
+                    associativity=config.l3.associativity,
+                    access_cycles=config.l3.access_cycles,
+                    cycle_time=config.l3.bank_cycle,
+                )
+            )
+            self._l3_bank_ready = [0.0] * config.l3.nbanks
+            self._l3_subbank_ready = [
+                [0.0] * max(config.l3.subbanks, 1)
+                for _ in range(config.l3.nbanks)
+            ]
+        self.crossbar = Crossbar(traverse_cycles=config.crossbar_cycles)
+        self.memory = MemoryController(config.memory,
+                                       policy=config.page_policy)
+        self.counters = AccessCounters()
+        self._locks: dict[int, float] = {}
+        self._barrier_arrivals: list[ThreadContext] = []
+        self._lat_sum = 0.0
+        self._lat_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Memory hierarchy walk
+
+    def _l3_bank(self, address: int) -> int:
+        assert self.config.l3 is not None
+        line = address // self.config.l3.block_bytes
+        return line % self.config.l3.nbanks
+
+    def _access_l3(self, now: float, address: int, is_write: bool
+                   ) -> tuple[float, bool]:
+        """Crossbar + L3 bank access; returns (latency, hit)."""
+        assert self.l3 is not None and self.config.l3 is not None
+        bank = self._l3_bank(address)
+        arrive = self.crossbar.traverse(now, bank)
+        self.counters.crossbar_transfers += 1
+        start = max(arrive, self._l3_bank_ready[bank])
+        cfg = self.config.l3
+        if cfg.subbanks > 1 and cfg.subbank_cycle > cfg.bank_cycle:
+            # Multisubbank interleaving: the shared bus pitches at the
+            # interleave cycle, but a busy subbank (mid row-cycle) stalls
+            # the request for the remainder of its random cycle.
+            sub = (address // cfg.block_bytes // cfg.nbanks) % cfg.subbanks
+            ready = self._l3_subbank_ready[bank]
+            start = max(start, ready[sub])
+            ready[sub] = start + cfg.subbank_cycle
+        self._l3_bank_ready[bank] = start + cfg.bank_cycle
+        line = self.l3.access(address, is_write)
+        finish = start + self.config.l3.access_cycles
+        if is_write:
+            self.counters.l3_writes += 1
+        else:
+            self.counters.l3_reads += 1
+        latency = finish + self.config.crossbar_cycles - now
+        return latency, line is not None
+
+    def _memory_access(self, now: float, address: int, is_write: bool
+                       ) -> float:
+        return self.memory.access(now, address, is_write)
+
+    def _fill_l3(self, address: int) -> None:
+        assert self.l3 is not None
+        victim = self.l3.fill(address, MesiState.EXCLUSIVE)
+        if victim is not None:
+            victim_addr, dirty = victim
+            # Inclusive L3: back-invalidate the private caches.
+            for core, l2 in enumerate(self.l2s):
+                if l2.invalidate(victim_addr):
+                    dirty = True
+                self.directory.evicted(core, victim_addr)
+                self.l1s[core].invalidate(victim_addr)
+            if dirty:
+                self.memory.access(0.0, victim_addr, True)
+
+    def _fill_l2(self, core: int, address: int, state: MesiState) -> None:
+        victim = self.l2s[core].fill(address, state)
+        if victim is not None:
+            victim_addr, dirty = victim
+            self.directory.evicted(core, victim_addr)
+            self.l1s[core].invalidate(victim_addr)
+            if dirty:
+                if self.l3 is not None:
+                    line = self.l3.lookup(victim_addr)
+                    if line is not None:
+                        line.state = MesiState.MODIFIED
+                        self.counters.l3_writes += 1
+                    else:
+                        self.memory.access(0.0, victim_addr, True)
+                else:
+                    self.memory.access(0.0, victim_addr, True)
+
+    def service_memory_request(
+        self, thread: ThreadContext, address: int, is_write: bool
+    ) -> None:
+        """Walk the hierarchy for one reference, charging the thread."""
+        core = thread.core_id
+        now = thread.time
+        l1 = self.l1s[core]
+        if is_write:
+            self.counters.l1_writes += 1
+        else:
+            self.counters.l1_reads += 1
+
+        l1_line = l1.access(address, is_write)
+        if l1_line is not None and not (
+            is_write and l1_line.state is MesiState.SHARED
+        ):
+            # L1 hit: the stall is hidden by the pipeline, but the hit
+            # still counts toward the average read latency of Figure 4(a).
+            self._read_latency(
+                thread, float(self.config.l1.access_cycles), is_write
+            )
+            return
+
+        # L1 miss (or write upgrade): go to the private L2.
+        latency = float(self.config.l1.access_cycles)
+        if is_write:
+            self.counters.l2_writes += 1
+        else:
+            self.counters.l2_reads += 1
+        l2_line = self.l2s[core].access(address, is_write)
+        upgrade_needed = (
+            is_write
+            and l2_line is not None
+            and l2_line.state is MesiState.SHARED
+        )
+        if l2_line is not None and not upgrade_needed:
+            latency += self.config.l2.access_cycles
+            thread.breakdown.l2 += latency
+            thread.time += latency
+            self._read_latency(thread, latency, is_write)
+            l1.fill(address, l2_line.state)
+            return
+
+        latency += self.config.l2.access_cycles  # miss detection
+        if upgrade_needed:
+            outcome = self.directory.write(core, address)
+            self.counters.coherence_invalidations += outcome.invalidated
+            self.l2s[core].set_state(address, MesiState.MODIFIED)
+            latency += _C2C_EXTRA_CYCLES
+            thread.breakdown.l2 += latency
+            thread.time += latency
+            self._read_latency(thread, latency, is_write)
+            l1.fill(address, MesiState.MODIFIED)
+            return
+
+        # True L2 miss: resolve coherence among peers.
+        outcome = (
+            self.directory.write(core, address)
+            if is_write
+            else self.directory.read(core, address)
+        )
+        self.counters.coherence_invalidations += outcome.invalidated
+        if outcome.source_core is not None:
+            # Cache-to-cache transfer between private L2s.
+            c2c = self.config.l2.access_cycles + _C2C_EXTRA_CYCLES
+            latency += c2c
+            thread.breakdown.l2 += latency
+            thread.time += latency
+            self._read_latency(thread, latency, is_write)
+            state = (
+                MesiState.MODIFIED if is_write else MesiState.SHARED
+            )
+            self._fill_l2(core, address, state)
+            self.l1s[core].fill(address, state)
+            return
+
+        # Go to the L3 (or straight to memory).
+        if self.l3 is not None:
+            l3_latency, hit = self._access_l3(
+                thread.time + latency, address, is_write
+            )
+            latency += l3_latency
+            if hit:
+                thread.breakdown.l3 += latency
+            else:
+                mem_latency = self._memory_access(
+                    thread.time + latency, address, is_write
+                )
+                latency += mem_latency + self.config.crossbar_cycles
+                thread.breakdown.memory += latency
+                self._fill_l3(address)
+        else:
+            mem_latency = self._memory_access(
+                thread.time + latency, address, is_write
+            )
+            latency += mem_latency
+            thread.breakdown.memory += latency
+
+        thread.time += latency
+        self._read_latency(thread, latency, is_write)
+        state = self.directory.state_for_fill(core, address, is_write)
+        self._fill_l2(core, address, state)
+        self.l1s[core].fill(address, state)
+
+    def _read_latency(self, thread: ThreadContext, latency: float,
+                      is_write: bool) -> None:
+        if not is_write:
+            self._lat_sum += latency
+            self._lat_count += 1
+
+    # ------------------------------------------------------------------ #
+    # Execution loop
+
+    def run(self, event_streams: list[Iterator[Event]]) -> SimStats:
+        """Execute one event stream per hardware thread to completion."""
+        config = self.config
+        if len(event_streams) != config.num_threads:
+            raise ValueError(
+                f"need {config.num_threads} event streams, got "
+                f"{len(event_streams)}"
+            )
+        threads = [
+            ThreadContext(
+                thread_id=i,
+                core_id=i // config.threads_per_core,
+                events=iter(stream),
+            )
+            for i, stream in enumerate(event_streams)
+        ]
+        self._lat_sum = 0.0
+        self._lat_count = 0
+
+        heap = [(t.time, t.thread_id) for t in threads]
+        heapq.heapify(heap)
+        runnable = len(threads)
+
+        while heap:
+            _, tid = heapq.heappop(heap)
+            thread = threads[tid]
+            if thread.done or thread.waiting_barrier:
+                continue
+            event = next(thread.events, None)
+            if event is None:
+                thread.done = True
+                runnable -= 1
+                self._maybe_release_barrier(threads, heap)
+                continue
+            kind = event[0]
+            if kind == "step":
+                _, instructions, cycles, address, is_write = event
+                thread.retire(instructions, cycles)
+                self.service_memory_request(thread, address, is_write)
+            elif kind == "compute":
+                _, instructions, cycles = event
+                thread.retire(instructions, cycles)
+            elif kind == "mem":
+                _, address, is_write = event
+                self.service_memory_request(thread, address, is_write)
+            elif kind == "barrier":
+                thread.waiting_barrier = True
+                self._barrier_arrivals.append(thread)
+                self._maybe_release_barrier(threads, heap)
+                continue
+            elif kind == "lock":
+                _, lock_id, hold = event
+                ready = self._locks.get(lock_id, 0.0)
+                wait = max(0.0, ready - thread.time)
+                thread.breakdown.lock += wait
+                thread.time += wait + hold
+                thread.breakdown.instruction += hold
+                self._locks[lock_id] = thread.time
+            else:
+                raise ValueError(f"unknown workload event {kind!r}")
+            heapq.heappush(heap, (thread.time, tid))
+
+        return self._collect(threads)
+
+    def _maybe_release_barrier(
+        self, threads: list[ThreadContext], heap: list
+    ) -> None:
+        waiting = self._barrier_arrivals
+        pending = [t for t in threads if not t.done and not t.waiting_barrier]
+        if pending or not waiting:
+            return
+        release = max(t.time for t in waiting)
+        for t in waiting:
+            t.breakdown.barrier += release - t.time
+            t.time = release
+            t.waiting_barrier = False
+            heapq.heappush(heap, (t.time, t.thread_id))
+        self._barrier_arrivals = []
+
+    def _collect(self, threads: list[ThreadContext]) -> SimStats:
+        stats = SimStats()
+        stats.cycles = max(t.time for t in threads)
+        stats.instructions = sum(t.instructions for t in threads)
+        for t in threads:
+            stats.breakdown.add(t.breakdown)
+        stats.counters = self.counters
+        stats.counters.mem_activates = self.memory.stats.activates
+        stats.counters.mem_reads = self.memory.stats.reads
+        stats.counters.mem_writes = self.memory.stats.writes
+        stats.read_latency_sum = self._lat_sum
+        stats.read_count = self._lat_count
+        return stats
+
+
+def run_workload(
+    config: SystemConfig,
+    stream_factory: Callable[[int], Iterator[Event]],
+) -> SimStats:
+    """Convenience: build a system and run one stream per thread."""
+    system = System(config)
+    streams = [stream_factory(i) for i in range(config.num_threads)]
+    return system.run(streams)

@@ -1,0 +1,92 @@
+"""Replicated study runs: seed-averaged results with dispersion.
+
+Synthetic workloads carry sampling noise; a single seed can flatter or
+damn a configuration.  This module repeats (application, configuration)
+runs across seeds and reports mean, standard deviation, and a normal-
+approximation confidence half-width for the headline metrics, so study
+conclusions come with error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.study.runner import RunResult, run_one
+from repro.workloads.synthetic import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Seed-replicated statistics for one (app, config) cell."""
+
+    app: str
+    config: str
+    runs: tuple[RunResult, ...]
+
+    def _values(self, metric: str) -> list[float]:
+        extractors = {
+            "ipc": lambda r: r.ipc,
+            "cycles": lambda r: r.stats.cycles,
+            "read_latency": lambda r: r.stats.average_read_latency,
+            "hierarchy_power": lambda r: r.power.total,
+            "energy_delay": lambda r: r.system.energy_delay,
+        }
+        if metric not in extractors:
+            raise ValueError(f"unknown metric {metric!r}; "
+                             f"choose from {sorted(extractors)}")
+        return [extractors[metric](r) for r in self.runs]
+
+    def mean(self, metric: str) -> float:
+        values = self._values(metric)
+        return sum(values) / len(values)
+
+    def std(self, metric: str) -> float:
+        values = self._values(metric)
+        if len(values) < 2:
+            return 0.0
+        mu = sum(values) / len(values)
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+        )
+
+    def confidence_half_width(self, metric: str, z: float = 1.96) -> float:
+        """+- half-width of the ~95 % interval on the mean."""
+        n = len(self.runs)
+        return z * self.std(metric) / math.sqrt(n) if n > 1 else 0.0
+
+    def cv(self, metric: str) -> float:
+        """Coefficient of variation: dispersion relative to the mean."""
+        mu = self.mean(metric)
+        return self.std(metric) / mu if mu else 0.0
+
+
+def replicate(
+    profile: WorkloadProfile,
+    config_name: str,
+    seeds: tuple[int, ...] = (7, 1234, 5150),
+    source: str = "paper",
+    scale: int = 16,
+) -> Replicated:
+    """Run one cell across ``seeds``."""
+    runs = tuple(
+        run_one(profile, config_name, source=source, scale=scale, seed=s)
+        for s in seeds
+    )
+    return Replicated(app=profile.name, config=config_name, runs=runs)
+
+
+def speedup_interval(
+    baseline: Replicated, candidate: Replicated, z: float = 1.96
+) -> tuple[float, float, float]:
+    """(mean, low, high) of the candidate-vs-baseline cycle speedup.
+
+    First-order error propagation on the ratio of means.
+    """
+    b, c = baseline.mean("cycles"), candidate.mean("cycles")
+    ratio = b / c
+    rel = math.sqrt(
+        (baseline.confidence_half_width("cycles", z) / b) ** 2
+        + (candidate.confidence_half_width("cycles", z) / c) ** 2
+    )
+    return ratio, ratio * (1 - rel), ratio * (1 + rel)

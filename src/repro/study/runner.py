@@ -1,0 +1,150 @@
+"""LLC study runner: executes app x configuration and aggregates results.
+
+Produces the data behind paper Figures 4(a), 4(b), 5(a), and 5(b): IPC
+and average read latency, normalized execution-cycle breakdowns,
+memory-hierarchy power breakdowns, and normalized system energy-delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+from repro.power.hierarchy import PowerBreakdown, hierarchy_power
+from repro.power.system import SystemPower, scaled_core_power
+from repro.sim.stats import SimStats
+from repro.sim.system import run_workload
+from repro.study.table3 import (
+    CONFIG_NAMES,
+    CPU_HZ,
+    build_energy_model,
+    build_system_config,
+)
+from repro.workloads.npb import NPB_PROFILES
+from repro.workloads.synthetic import WorkloadProfile, event_stream
+
+#: Default capacity-scaling factor for tractable pure-Python runs.
+DEFAULT_SCALE = 16
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (application, configuration) outcome."""
+
+    app: str
+    config: str
+    stats: SimStats
+    power: PowerBreakdown
+    system: SystemPower
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def execution_seconds(self) -> float:
+        return self.stats.cycles / CPU_HZ
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The full app x config matrix."""
+
+    results: dict[tuple[str, str], RunResult]
+    config_names: tuple[str, ...]
+    app_names: tuple[str, ...]
+
+    def get(self, app: str, config: str) -> RunResult:
+        return self.results[(app, config)]
+
+    def normalized_cycles(self, app: str, config: str) -> float:
+        """Execution cycles relative to the nol3 baseline (Figure 4b)."""
+        base = self.get(app, "nol3").stats.cycles
+        return self.get(app, config).stats.cycles / base
+
+    def normalized_energy_delay(self, app: str, config: str) -> float:
+        """System energy-delay relative to nol3 (Figure 5b)."""
+        base = self.get(app, "nol3").system.energy_delay
+        return self.get(app, config).system.energy_delay / base
+
+    def mean_execution_reduction(self, config: str) -> float:
+        """Average execution-time reduction vs nol3 across apps."""
+        ratios = [
+            self.normalized_cycles(app, config) for app in self.app_names
+        ]
+        return 1.0 - sum(ratios) / len(ratios)
+
+    def mean_energy_delay_improvement(self, config: str) -> float:
+        ratios = [
+            self.normalized_energy_delay(app, config)
+            for app in self.app_names
+        ]
+        return 1.0 - sum(ratios) / len(ratios)
+
+    def mean_hierarchy_power_increase(self, config: str) -> float:
+        """Average memory-hierarchy power increase vs nol3 (Figure 5a)."""
+        increases = []
+        for app in self.app_names:
+            base = self.get(app, "nol3").power.total
+            increases.append(self.get(app, config).power.total / base - 1.0)
+        return sum(increases) / len(increases)
+
+
+def run_one(
+    profile: WorkloadProfile,
+    config_name: str,
+    source: str = "paper",
+    scale: int = DEFAULT_SCALE,
+    seed: int = 1234,
+) -> RunResult:
+    """Simulate one application on one configuration."""
+    config = build_system_config(config_name, source=source, scale=scale)
+    scaled_profile = profile.scaled(scale)
+    stats = run_workload(
+        config,
+        partial(
+            event_stream,
+            scaled_profile,
+            num_threads=config.num_threads,
+            seed=seed,
+        ),
+    )
+    duration = stats.cycles / CPU_HZ
+    energy_model = build_energy_model(config_name, source=source)
+    breakdown = hierarchy_power(energy_model, stats, duration)
+    system = SystemPower(
+        core=scaled_core_power(),
+        memory_hierarchy=breakdown,
+        execution_time=duration,
+    )
+    return RunResult(
+        app=profile.name,
+        config=config_name,
+        stats=stats,
+        power=breakdown,
+        system=system,
+    )
+
+
+def run_study(
+    profiles: tuple[WorkloadProfile, ...] = NPB_PROFILES,
+    configs: tuple[str, ...] = CONFIG_NAMES,
+    source: str = "paper",
+    scale: int = DEFAULT_SCALE,
+    instructions_per_thread: int | None = None,
+    seed: int = 1234,
+) -> StudyResult:
+    """Run the full study matrix."""
+    results: dict[tuple[str, str], RunResult] = {}
+    for profile in profiles:
+        if instructions_per_thread is not None:
+            profile = profile.with_instructions(instructions_per_thread)
+        for config_name in configs:
+            results[(profile.name, config_name)] = run_one(
+                profile, config_name, source=source, scale=scale, seed=seed
+            )
+    return StudyResult(
+        results=results,
+        config_names=tuple(configs),
+        app_names=tuple(p.name for p in profiles),
+    )

@@ -1,0 +1,137 @@
+"""Sensitivity analysis: how solved metrics respond to inputs.
+
+A modeling tool earns trust by exposing its derivatives: which inputs
+move which outputs, and by how much.  This module sweeps a one-dimensional
+input of a :class:`~repro.core.config.MemorySpec` (capacity,
+associativity, block size, technology node, banks) or an optimizer knob,
+re-solves at each point, and reports the resulting metric trajectories
+plus local elasticities (d log(metric) / d log(input)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.core.cacti import solve
+from repro.core.config import MemorySpec, OptimizationTarget
+from repro.core.optimizer import NoFeasibleSolution
+from repro.core.results import Solution
+
+#: Metrics extracted from each solved point.
+METRICS: dict[str, Callable[[Solution], float]] = {
+    "access_time": lambda s: s.access_time,
+    "random_cycle": lambda s: s.random_cycle_time,
+    "e_read": lambda s: s.e_read,
+    "p_leakage": lambda s: s.p_leakage,
+    "p_refresh": lambda s: s.p_refresh,
+    "area": lambda s: s.area,
+    "area_efficiency": lambda s: s.area_efficiency,
+}
+
+#: Spec fields sweepable by name.
+SWEEPABLE = (
+    "capacity_bytes",
+    "block_bytes",
+    "associativity",
+    "nbanks",
+    "node_nm",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One solved point of a sweep."""
+
+    value: float
+    solution: Solution | None  #: None if infeasible at this value
+
+    def metric(self, name: str) -> float | None:
+        if self.solution is None:
+            return None
+        return METRICS[name](self.solution)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """A full one-dimensional sweep."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        """(input value, metric value) pairs for the feasible points."""
+        return [
+            (p.value, p.metric(metric))
+            for p in self.points
+            if p.solution is not None
+        ]
+
+    def elasticity(self, metric: str) -> float | None:
+        """Log-log slope of the metric over the sweep (least squares).
+
+        An elasticity of 1.0 means the metric scales proportionally with
+        the input; 0.5 like its square root; 0 means insensitive.
+        Returns None with fewer than two feasible points.
+        """
+        pairs = [
+            (v, m) for v, m in self.series(metric) if v > 0 and m > 0
+        ]
+        if len(pairs) < 2:
+            return None
+        xs = [math.log(v) for v, _ in pairs]
+        ys = [math.log(m) for _, m in pairs]
+        n = len(xs)
+        mean_x, mean_y = sum(xs) / n, sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        if sxx == 0:
+            return None
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        return sxy / sxx
+
+    def report(self) -> str:
+        lines = [f"sensitivity sweep over {self.parameter}"]
+        for metric in METRICS:
+            e = self.elasticity(metric)
+            if e is None:
+                continue
+            lines.append(f"  {metric:<16} elasticity {e:+.2f}")
+        return "\n".join(lines)
+
+
+def sweep(
+    base: MemorySpec,
+    parameter: str,
+    values: Sequence,
+    target: OptimizationTarget | None = None,
+) -> SensitivityResult:
+    """Re-solve ``base`` across ``values`` of ``parameter``."""
+    if parameter not in SWEEPABLE:
+        raise ValueError(
+            f"cannot sweep {parameter!r}; choose one of {SWEEPABLE}"
+        )
+    points = []
+    for value in values:
+        try:
+            spec = replace(base, **{parameter: value})
+            solution = solve(spec, target)
+        except (NoFeasibleSolution, ValueError):
+            solution = None
+        points.append(SweepPoint(value=float(value), solution=solution))
+    if not any(p.solution is not None for p in points):
+        raise NoFeasibleSolution(
+            f"no feasible point in the {parameter} sweep"
+        )
+    return SensitivityResult(parameter=parameter, points=tuple(points))
+
+
+def capacity_sweep(
+    base: MemorySpec, factors: Sequence[int] = (1, 2, 4, 8, 16)
+) -> SensitivityResult:
+    """Convenience: sweep capacity by powers of two from the base."""
+    return sweep(
+        base,
+        "capacity_bytes",
+        [base.capacity_bytes * f for f in factors],
+    )

@@ -1,0 +1,21 @@
+"""Technology modeling: ITRS devices, Ho wire projections, memory cells."""
+
+from repro.tech.cells import CellParams, CellTech
+from repro.tech.devices import DEVICE_TYPES, NODES_NM, DeviceParams, device
+from repro.tech.nodes import Technology, technology
+from repro.tech.wires import WireParams, global_wire, local_wire, semi_global_wire
+
+__all__ = [
+    "CellParams",
+    "CellTech",
+    "DEVICE_TYPES",
+    "DeviceParams",
+    "NODES_NM",
+    "Technology",
+    "WireParams",
+    "device",
+    "global_wire",
+    "local_wire",
+    "semi_global_wire",
+    "technology",
+]

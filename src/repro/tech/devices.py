@@ -1,0 +1,287 @@
+"""ITRS device models.
+
+CACTI-D replaced the legacy linear-scaled 0.8 um technology base of older
+CACTI versions with device data projected from the ITRS roadmap.  Three ITRS
+device types are modeled -- High Performance (HP), Low Standby Power (LSTP),
+and Low Operating Power (LOP) -- plus a long-channel variant of HP that
+trades speed for a ~10x leakage reduction (used for SRAM cells and
+SRAM/LP-DRAM peripheral circuitry, following the 65 nm Xeon L3 design).
+
+Parameter values are projections regenerated from the scaling rules the
+paper cites rather than copied from any CACTI source release:
+
+* HP CV/I improves 17 %/year; LSTP and LOP improve ~14 %/year.  ITRS nodes
+  are two years apart (90 nm = 2004 ... 32 nm = 2013 window), so HP delay
+  scales by 0.83**2 per node.
+* LSTP subthreshold leakage is held constant at 10 pA/um across nodes.
+* LSTP gate lengths lag HP by four years (two nodes); LOP lags by two years.
+* Supply voltages follow the ITRS tables (HP reaches 0.9 V at 32 nm, which
+  is the SRAM cell VDD in paper Table 1; LSTP reaches 1.0 V, the COMM-DRAM
+  peripheral VDD).
+
+All quantities are SI and normalized per metre of transistor width where
+applicable (1 uA/um == 1 A/m, 1 fF/um == 1e-9 F/m).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+#: Weight of an FO4 inverter delay attributed to the RC switching model,
+#: ln(2) for a first-order exponential settling to VDD/2.
+_LN2 = math.log(2.0)
+
+#: Fanout used to define the reference inverter delay.
+_FO4_FANOUT = 4.0
+
+#: Subthreshold leakage multiplier at the ~360 K operating temperature of a
+#: server die relative to the 25 C datasheet values stored in ``i_off``.
+#: Subthreshold current grows exponentially with temperature; a 5-7x
+#: increase from 300 K to 360 K is typical, and CACTI evaluates leakage at
+#: operating temperature.
+TEMPERATURE_LEAKAGE_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Electrical parameters of one ITRS device type at one node.
+
+    Width-normalized quantities let circuit models size transistors freely:
+    a transistor of width ``w`` has gate capacitance ``c_gate * w``, drain
+    capacitance ``c_drain * w``, on-current ``i_on * w``, subthreshold
+    leakage ``i_off * w``, and effective switching resistance ``r_eff / w``.
+    """
+
+    name: str
+    vdd: float  #: supply voltage (V)
+    vth: float  #: saturation threshold voltage (V)
+    l_phy: float  #: physical gate length (m)
+    t_ox: float  #: equivalent oxide thickness (m)
+    c_gate: float  #: gate capacitance per width, incl. fringe/overlap (F/m)
+    c_drain: float  #: drain junction + overlap capacitance per width (F/m)
+    i_on: float  #: saturation drive current per width (A/m)
+    i_off: float  #: subthreshold leakage per width at 25C (A/m)
+    i_gate: float  #: gate leakage per width (A/m)
+    r_eff: float  #: switching resistance x NMOS width, PMOS matched (ohm*m)
+    n_to_p_ratio: float = 2.0  #: PMOS/NMOS width ratio for equal drive
+
+    @property
+    def fo4(self) -> float:
+        """Delay of a fanout-of-4 inverter in this technology (s)."""
+        return (
+            _LN2
+            * self.r_eff
+            * (1.0 + self.n_to_p_ratio)
+            * (self.c_drain + _FO4_FANOUT * self.c_gate)
+        )
+
+    @property
+    def tau(self) -> float:
+        """Intrinsic time constant r_eff * c_gate (s), the logical-effort tau."""
+        return self.r_eff * self.c_gate
+
+    def leakage_power(self, width: float) -> float:
+        """Subthreshold + gate leakage power of one device of ``width`` (W),
+        at operating temperature.
+
+        CACTI assumes half the devices in a static CMOS gate leak at a time;
+        callers apply stacking/duty factors themselves.
+        """
+        i_off_hot = self.i_off * TEMPERATURE_LEAKAGE_FACTOR
+        return (i_off_hot + self.i_gate) * width * self.vdd
+
+
+def _device(
+    name: str,
+    vdd: float,
+    vth: float,
+    l_phy_nm: float,
+    t_ox_nm: float,
+    c_gate_ff_um: float,
+    c_drain_ff_um: float,
+    i_on_ua_um: float,
+    i_off_na_um: float,
+    i_gate_na_um: float,
+    fo4_ps: float,
+) -> DeviceParams:
+    """Build a DeviceParams from datasheet-style units, deriving r_eff.
+
+    The effective switching resistance is calibrated so that the resulting
+    FO4 inverter delay matches the projected ``fo4_ps`` for the device type,
+    keeping every downstream delay consistent with the ITRS CV/I trend.
+    """
+    c_gate = c_gate_ff_um * 1e-9
+    c_drain = c_drain_ff_um * 1e-9
+    # r_eff is normalized to NMOS width with the PMOS upsized for equal
+    # drive; the FO4 load therefore carries (1 + n_to_p_ratio) x the NMOS
+    # width in capacitance, which the calibration must divide out.
+    n_to_p = 2.0
+    r_eff = (fo4_ps * 1e-12) / (
+        _LN2 * (1.0 + n_to_p) * (c_drain + _FO4_FANOUT * c_gate)
+    )
+    return DeviceParams(
+        name=name,
+        vdd=vdd,
+        vth=vth,
+        l_phy=l_phy_nm * 1e-9,
+        t_ox=t_ox_nm * 1e-9,
+        c_gate=c_gate,
+        c_drain=c_drain,
+        i_on=i_on_ua_um,
+        i_off=i_off_na_um * 1e-3,
+        i_gate=i_gate_na_um * 1e-3,
+        r_eff=r_eff,
+    )
+
+
+#: ITRS nodes covered by CACTI-D (paper section 2.2), keyed by feature size
+#: in nanometres.  Node order: 90 (2004), 65 (2007), 45 (2010), 32 (2013).
+NODES_NM = (90, 65, 45, 32)
+
+#: FO4 delay projections (ps) for HP devices, following the 17 %/yr CV/I
+#: improvement (x0.69 per two-year node step) anchored at ~32 ps for 90 nm.
+_HP_FO4_PS = {90: 32.0, 65: 22.1, 45: 15.3, 32: 10.6}
+
+#: Delay derating of the slower device families relative to HP.  LSTP pays
+#: ~2.6x for its thick oxide and high Vth; LOP ~1.7x; the long-channel HP
+#: variant ~1.3x for its relaxed gate length.
+_LSTP_FO4_FACTOR = 2.6
+_LOP_FO4_FACTOR = 1.7
+_HP_LONG_FO4_FACTOR = 1.3
+
+#: Leakage reduction of long-channel HP relative to nominal HP.
+_HP_LONG_IOFF_FACTOR = 0.1
+_HP_LONG_ION_FACTOR = 0.8
+
+
+def _hp(node: int) -> DeviceParams:
+    data = {
+        90: dict(vdd=1.2, vth=0.23, l_phy_nm=37, t_ox_nm=1.20,
+                 c_gate_ff_um=0.95, c_drain_ff_um=0.60,
+                 i_on_ua_um=1100, i_off_na_um=200, i_gate_na_um=100),
+        65: dict(vdd=1.1, vth=0.20, l_phy_nm=25, t_ox_nm=1.10,
+                 c_gate_ff_um=0.80, c_drain_ff_um=0.50,
+                 i_on_ua_um=1300, i_off_na_um=280, i_gate_na_um=180),
+        45: dict(vdd=1.0, vth=0.18, l_phy_nm=18, t_ox_nm=0.65,
+                 c_gate_ff_um=0.70, c_drain_ff_um=0.44,
+                 i_on_ua_um=1550, i_off_na_um=360, i_gate_na_um=250),
+        32: dict(vdd=0.9, vth=0.17, l_phy_nm=13, t_ox_nm=0.50,
+                 c_gate_ff_um=0.60, c_drain_ff_um=0.38,
+                 i_on_ua_um=1850, i_off_na_um=450, i_gate_na_um=300),
+    }[node]
+    return _device(name="itrs-hp", fo4_ps=_HP_FO4_PS[node], **data)
+
+
+def _hp_long_channel(node: int) -> DeviceParams:
+    base = _hp(node)
+    return _device(
+        name="itrs-hp-long-channel",
+        vdd=base.vdd,
+        vth=base.vth + 0.06,
+        l_phy_nm=base.l_phy * 1e9 * 1.35,
+        t_ox_nm=base.t_ox * 1e9,
+        c_gate_ff_um=base.c_gate * 1e9 * 1.15,
+        c_drain_ff_um=base.c_drain * 1e9 * 1.05,
+        i_on_ua_um=base.i_on * _HP_LONG_ION_FACTOR,
+        i_off_na_um=base.i_off * 1e3 * _HP_LONG_IOFF_FACTOR,
+        i_gate_na_um=base.i_gate * 1e3 * 0.5,
+        fo4_ps=_HP_FO4_PS[node] * _HP_LONG_FO4_FACTOR,
+    )
+
+
+def _lstp(node: int) -> DeviceParams:
+    data = {
+        90: dict(vdd=1.2, vth=0.48, l_phy_nm=75, t_ox_nm=2.20,
+                 c_gate_ff_um=1.10, c_drain_ff_um=0.66,
+                 i_on_ua_um=440, i_off_na_um=0.01, i_gate_na_um=0.005),
+        65: dict(vdd=1.2, vth=0.45, l_phy_nm=45, t_ox_nm=1.90,
+                 c_gate_ff_um=0.92, c_drain_ff_um=0.56,
+                 i_on_ua_um=465, i_off_na_um=0.01, i_gate_na_um=0.005),
+        45: dict(vdd=1.1, vth=0.42, l_phy_nm=28, t_ox_nm=1.40,
+                 c_gate_ff_um=0.80, c_drain_ff_um=0.49,
+                 i_on_ua_um=520, i_off_na_um=0.01, i_gate_na_um=0.005),
+        32: dict(vdd=1.0, vth=0.40, l_phy_nm=20, t_ox_nm=1.10,
+                 c_gate_ff_um=0.68, c_drain_ff_um=0.42,
+                 i_on_ua_um=570, i_off_na_um=0.01, i_gate_na_um=0.005),
+    }[node]
+    return _device(name="itrs-lstp", fo4_ps=_HP_FO4_PS[node] * _LSTP_FO4_FACTOR,
+                   **data)
+
+
+def _lop(node: int) -> DeviceParams:
+    data = {
+        90: dict(vdd=0.9, vth=0.30, l_phy_nm=53, t_ox_nm=1.50,
+                 c_gate_ff_um=1.00, c_drain_ff_um=0.62,
+                 i_on_ua_um=550, i_off_na_um=3, i_gate_na_um=2),
+        65: dict(vdd=0.8, vth=0.28, l_phy_nm=32, t_ox_nm=1.20,
+                 c_gate_ff_um=0.85, c_drain_ff_um=0.53,
+                 i_on_ua_um=640, i_off_na_um=5, i_gate_na_um=3),
+        45: dict(vdd=0.7, vth=0.25, l_phy_nm=22, t_ox_nm=0.90,
+                 c_gate_ff_um=0.74, c_drain_ff_um=0.46,
+                 i_on_ua_um=740, i_off_na_um=7, i_gate_na_um=5),
+        32: dict(vdd=0.6, vth=0.24, l_phy_nm=16, t_ox_nm=0.80,
+                 c_gate_ff_um=0.63, c_drain_ff_um=0.40,
+                 i_on_ua_um=840, i_off_na_um=10, i_gate_na_um=7),
+    }[node]
+    return _device(name="itrs-lop", fo4_ps=_HP_FO4_PS[node] * _LOP_FO4_FACTOR,
+                   **data)
+
+
+#: Registry of builder functions keyed by the public device-type name.
+DEVICE_BUILDERS = {
+    "hp": _hp,
+    "hp-long-channel": _hp_long_channel,
+    "lstp": _lstp,
+    "lop": _lop,
+}
+
+DEVICE_TYPES = tuple(DEVICE_BUILDERS)
+
+
+def device(device_type: str, node_nm: int) -> DeviceParams:
+    """Return the :class:`DeviceParams` for ``device_type`` at an ITRS node.
+
+    ``node_nm`` must be one of :data:`NODES_NM`; use
+    :func:`repro.tech.nodes.technology` for interpolated nodes.
+    """
+    if device_type not in DEVICE_BUILDERS:
+        raise ValueError(
+            f"unknown device type {device_type!r}; expected one of {DEVICE_TYPES}"
+        )
+    if node_nm not in NODES_NM:
+        raise ValueError(f"unknown ITRS node {node_nm}; expected one of {NODES_NM}")
+    return DEVICE_BUILDERS[device_type](node_nm)
+
+
+def interpolate_devices(
+    a: DeviceParams, b: DeviceParams, fraction: float
+) -> DeviceParams:
+    """Log-linearly interpolate between two nodes of the same device type.
+
+    ``fraction`` is 0 at ``a`` and 1 at ``b``.  Geometric interpolation is
+    used for every strictly positive parameter, which matches the roughly
+    exponential trajectory of scaling trends (and is exact for quantities
+    like FO4 that improve by a constant factor per node).
+    """
+    if a.name != b.name:
+        raise ValueError(f"cannot interpolate {a.name!r} with {b.name!r}")
+
+    def geo(x: float, y: float) -> float:
+        return math.exp((1 - fraction) * math.log(x) + fraction * math.log(y))
+
+    return DeviceParams(
+        name=a.name,
+        vdd=geo(a.vdd, b.vdd),
+        vth=geo(a.vth, b.vth),
+        l_phy=geo(a.l_phy, b.l_phy),
+        t_ox=geo(a.t_ox, b.t_ox),
+        c_gate=geo(a.c_gate, b.c_gate),
+        c_drain=geo(a.c_drain, b.c_drain),
+        i_on=geo(a.i_on, b.i_on),
+        i_off=geo(a.i_off, b.i_off),
+        i_gate=geo(a.i_gate, b.i_gate),
+        r_eff=geo(a.r_eff, b.r_eff),
+        n_to_p_ratio=a.n_to_p_ratio,
+    )

@@ -1,0 +1,110 @@
+"""Technology node registry and interpolation.
+
+A :class:`Technology` bundles everything the circuit and array models need
+at one feature size: the four ITRS device types, the wire planes, and
+constructors for the three memory-cell technologies.  Nodes between the
+four modeled ITRS points (90/65/45/32 nm) are produced by log-linear
+interpolation of every device and wire parameter -- the paper's DRAM
+validation target is a 78 nm Micron part, which requires exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.tech import devices as _devices
+from repro.tech import wires as _wires
+from repro.tech.cells import CellParams, CellTech, cell
+from repro.tech.devices import NODES_NM, DeviceParams, interpolate_devices
+from repro.tech.wires import WireParams
+
+
+@dataclass(frozen=True)
+class Technology:
+    """All technology data at one feature size."""
+
+    node_nm: float
+    devices: dict[str, DeviceParams]
+    semi_global: WireParams
+    global_: WireParams
+    local: WireParams
+    local_tungsten: WireParams
+
+    @property
+    def feature_size(self) -> float:
+        """F in metres."""
+        return self.node_nm * 1e-9
+
+    def device(self, device_type: str) -> DeviceParams:
+        """Look up a device family: hp, hp-long-channel, lstp, or lop."""
+        try:
+            return self.devices[device_type]
+        except KeyError:
+            raise ValueError(
+                f"unknown device type {device_type!r}; "
+                f"expected one of {tuple(self.devices)}"
+            ) from None
+
+    def cell(self, tech: CellTech, periph_device: str) -> CellParams:
+        """Build cell parameters; SRAM cells share the peripheral supply."""
+        return cell(tech, self.node_nm, self.device(periph_device).vdd)
+
+    def bitline_wire(self, cell_tech: CellTech) -> WireParams:
+        """Array bitline wiring: tungsten for COMM-DRAM, copper otherwise."""
+        if cell_tech is CellTech.COMM_DRAM:
+            return self.local_tungsten
+        return self.local
+
+
+@lru_cache(maxsize=None)
+def _exact_node(node_nm: int) -> Technology:
+    return Technology(
+        node_nm=float(node_nm),
+        devices={
+            name: builder(node_nm)
+            for name, builder in _devices.DEVICE_BUILDERS.items()
+        },
+        semi_global=_wires.semi_global_wire(node_nm),
+        global_=_wires.global_wire(node_nm),
+        local=_wires.local_wire(node_nm),
+        local_tungsten=_wires.local_wire(node_nm, tungsten=True),
+    )
+
+
+@lru_cache(maxsize=None)
+def technology(node_nm: float) -> Technology:
+    """Return the :class:`Technology` at ``node_nm``, interpolating if needed.
+
+    Raises ValueError outside the modeled 32-90 nm range.
+    """
+    lo, hi = min(NODES_NM), max(NODES_NM)
+    if not lo <= node_nm <= hi:
+        raise ValueError(
+            f"node {node_nm} nm outside modeled ITRS range {lo}-{hi} nm"
+        )
+    if float(node_nm).is_integer() and int(node_nm) in NODES_NM:
+        return _exact_node(int(node_nm))
+
+    nodes = sorted(NODES_NM)
+    below = max(n for n in nodes if n < node_nm)
+    above = min(n for n in nodes if n > node_nm)
+    # Fraction runs from the *larger* feature size toward the smaller, in
+    # log space, mirroring the geometric progression of scaling trends.
+    frac = (math.log(above) - math.log(node_nm)) / (
+        math.log(above) - math.log(below)
+    )
+    coarse, fine = _exact_node(above), _exact_node(below)
+    interpolated = {
+        name: interpolate_devices(coarse.devices[name], fine.devices[name], frac)
+        for name in coarse.devices
+    }
+    return Technology(
+        node_nm=float(node_nm),
+        devices=interpolated,
+        semi_global=_wires.semi_global_wire(node_nm),
+        global_=_wires.global_wire(node_nm),
+        local=_wires.local_wire(node_nm),
+        local_tungsten=_wires.local_wire(node_nm, tungsten=True),
+    )

@@ -1,0 +1,99 @@
+"""Published validation targets (paper section 2.5).
+
+Three targets anchor the model:
+
+* a 78 nm Micron 1 Gb DDR3-1066 x8 part (timing from the datasheet, power
+  from the Micron DDR3 power calculator) -- the paper's Table 2 lists the
+  actual values verbatim, which we encode here;
+* the 65 nm Intel Xeon 16 MB shared L3 (Chang et al., JSSC 2007) and the
+  90 nm Sun SPARC 4 MB L2 (McIntyre et al., JSSC 2005) for SRAM -- the
+  paper reports these as a bubble chart (Figure 1) without tabulating the
+  numbers, so the SRAM targets below are reconstructed from the cited
+  publications' headline figures and are documented as such in
+  EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ddr3Target:
+    """Actual values of the Micron 1Gb DDR3-1066 x8 device (paper Table 2)."""
+
+    node_nm: float = 78.0
+    capacity_bits: int = 2**30
+    nbanks: int = 8
+    data_pins: int = 8
+    burst_length: int = 8
+    page_bits: int = 8192
+    area_efficiency: float = 0.56  #: ITRS value for a 6F^2-cell DRAM
+    t_rcd: float = 13.1e-9
+    t_cas: float = 13.1e-9
+    t_rc: float = 52.5e-9
+    e_activate: float = 3.1e-9  #: includes activation and precharging
+    e_read: float = 1.6e-9
+    e_write: float = 1.8e-9
+    p_refresh: float = 3.5e-3
+
+    #: CACTI-D's published errors on each metric (paper Table 2), used to
+    #: judge whether this reproduction lands in the same quality band.
+    PAPER_ERRORS = {
+        "area_efficiency": -0.062,
+        "t_rcd": +0.045,
+        "t_cas": -0.058,
+        "t_rc": -0.082,
+        "e_activate": -0.252,
+        "e_read": -0.322,
+        "e_write": -0.330,
+        "p_refresh": +0.290,
+    }
+
+
+@dataclass(frozen=True)
+class SramCacheTarget:
+    """A published SRAM cache design point for Figure 1-style validation."""
+
+    name: str
+    node_nm: float
+    capacity_bytes: int
+    block_bytes: int
+    associativity: int
+    access_time: float  #: s
+    area: float  #: m^2
+    dynamic_power: tuple[float, ...]  #: W; multiple quoted activity points
+    leakage_power: float  #: W
+    clock_hz: float  #: frequency at which dynamic power was quoted
+
+
+#: 65 nm dual-core Xeon 7100 shared 16 MB L3.  Two dynamic-power bubbles in
+#: the paper correspond to two quoted numbers at different activity factors.
+XEON_L3 = SramCacheTarget(
+    name="65nm Intel Xeon 16MB L3",
+    node_nm=65.0,
+    capacity_bytes=16 << 20,
+    block_bytes=64,
+    associativity=16,
+    access_time=3.9e-9,
+    area=130e-6,
+    dynamic_power=(2.8, 1.2),
+    leakage_power=2.6,
+    clock_hz=3.4e9,
+)
+
+#: 90 nm SPARC 4 MB on-chip L2 (1.6 GHz, 64-bit microprocessor).
+SPARC_L2 = SramCacheTarget(
+    name="90nm Sun SPARC 4MB L2",
+    node_nm=90.0,
+    capacity_bytes=4 << 20,
+    block_bytes=64,
+    associativity=4,
+    access_time=3.1e-9,
+    area=52e-6,
+    dynamic_power=(3.0,),
+    leakage_power=1.5,
+    clock_hz=1.6e9,
+)
+
+DDR3_TARGET = Ddr3Target()

@@ -1,0 +1,93 @@
+"""Microbenchmark workload presets.
+
+Beyond the NPB application profiles, studies often want pure-behaviour
+probes: a streaming kernel (long sequential runs, no reuse), a
+pointer-chaser (no spatial locality, latency-bound), a cache-resident
+kernel (pure compute ceiling), and a write-heavy kernel (writeback and
+coherence pressure).  These exercise individual mechanisms of the
+simulator and make clean inputs for ablations like the system-level page
+policy comparison.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import WorkloadProfile
+
+MB = 1 << 20
+
+#: Pure streaming: long sequential runs over a huge array.  Strong row
+#: locality at the DRAM, no reuse at any cache level.
+STREAM = WorkloadProfile(
+    name="micro.stream",
+    instructions_per_thread=50_000,
+    fp_fraction=0.5,
+    mem_per_instr=0.15,
+    write_fraction=0.25,
+    hot_bytes=4 << 10,
+    warm_bytes=64 << 10,
+    cold_bytes=512 * MB,
+    p_hot=0.05,
+    p_warm=0.05,
+    p_cold=0.90,
+    spatial_run=32.0,
+    barriers=0,
+)
+
+#: Pointer chase: dependent, spatially random accesses over a set larger
+#: than any cache -- pure latency exposure.
+POINTER_CHASE = WorkloadProfile(
+    name="micro.chase",
+    instructions_per_thread=50_000,
+    fp_fraction=0.0,
+    mem_per_instr=0.25,
+    write_fraction=0.0,
+    hot_bytes=4 << 10,
+    warm_bytes=512 * MB,
+    cold_bytes=64 * MB,
+    p_hot=0.02,
+    p_warm=0.96,
+    p_cold=0.02,
+    warm_skew=1.0,
+    spatial_run=1.0,
+    barriers=0,
+)
+
+#: Cache-resident compute: everything fits the private caches; the
+#: measured IPC is the core model's ceiling for the instruction mix.
+RESIDENT = WorkloadProfile(
+    name="micro.resident",
+    instructions_per_thread=50_000,
+    fp_fraction=0.6,
+    mem_per_instr=0.05,
+    write_fraction=0.3,
+    hot_bytes=8 << 10,
+    warm_bytes=64 << 10,
+    cold_bytes=64 << 10,
+    p_hot=0.99,
+    p_warm=0.005,
+    p_cold=0.005,
+    spatial_run=4.0,
+    barriers=0,
+)
+
+#: Write-heavy shared kernel: stores to a shared region, stressing MESI
+#: invalidations and dirty writebacks.
+WRITE_SHARED = WorkloadProfile(
+    name="micro.write-shared",
+    instructions_per_thread=50_000,
+    fp_fraction=0.2,
+    mem_per_instr=0.12,
+    write_fraction=0.7,
+    hot_bytes=16 << 10,
+    warm_bytes=2 * MB,
+    cold_bytes=64 * MB,
+    p_hot=0.30,
+    p_warm=0.65,
+    p_cold=0.05,
+    warm_skew=2.0,
+    spatial_run=2.0,
+    barriers=10,
+    lock_rate_per_kinstr=2.0,
+)
+
+MICRO_PROFILES = (STREAM, POINTER_CHASE, RESIDENT, WRITE_SHARED)

@@ -1,0 +1,187 @@
+"""NPB application profiles for the LLC study (paper section 3.2).
+
+The paper runs eight OpenMP NAS Parallel Benchmarks -- bt.C, cg.C, ft.B,
+is.C, lu.C, mg.B, sp.C, ua.C -- chosen because their class B/C data sets
+actually exercise caches as large as 192 MB.  Section 4.2 groups them by
+memory behaviour, and these profiles encode exactly those groups:
+
+* **ft.B, lu.C** -- the working set that misses the 8 MB of private L2s
+  fits within the larger L3s; the 24 MB SRAM L3 is too small (especially
+  for lu.C), so DRAM L3s win on capacity.
+* **bt.C, is.C, mg.B, sp.C** -- working sets exceed even 192 MB, but
+  accesses have locality, so every doubling of L3 capacity filters more
+  main-memory traffic.
+* **ua.C** -- few L3 accesses per instruction: insensitive to the L3.
+* **cg.C** -- working sets beyond the L2 have no locality: every L3 fails
+  to filter memory requests.
+
+Region sizes are full-scale (bytes); the study scales them together with
+the cache capacities (see ``WorkloadProfile.scaled``).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import WorkloadProfile
+
+MB = 1 << 20
+
+#: Default per-thread instruction budget for study runs.  The paper runs
+#: 10 B instructions on real hardware; the synthetic streams are
+#: statistically stationary, so far shorter runs converge.
+DEFAULT_INSTRUCTIONS = 250_000
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    kwargs.setdefault("instructions_per_thread", DEFAULT_INSTRUCTIONS)
+    return WorkloadProfile(**kwargs)
+
+
+#: ft.B: 3-D FFT.  All-to-all transposes over ~30 MB of spectral data;
+#: once the L3 holds the grids, misses nearly vanish.
+FT_B = _profile(
+    name="ft.B",
+    fp_fraction=0.45,
+    mem_per_instr=0.07,
+    write_fraction=0.35,
+    hot_bytes=256 << 10,
+    warm_bytes=30 * MB,
+    cold_bytes=64 * MB,
+    p_hot=0.55,
+    p_warm=0.42,
+    p_cold=0.03,
+    warm_skew=1.3,
+    spatial_run=6.0,
+    barriers=30,
+)
+
+#: lu.C: LU factorization.  ~46 MB of active panels; the 24 MB SRAM L3
+#: thrashes while the 48+ MB DRAM L3s capture the panels.
+LU_C = _profile(
+    name="lu.C",
+    fp_fraction=0.5,
+    mem_per_instr=0.08,
+    write_fraction=0.30,
+    hot_bytes=192 << 10,
+    warm_bytes=46 * MB,
+    cold_bytes=64 * MB,
+    p_hot=0.50,
+    p_warm=0.46,
+    p_cold=0.04,
+    warm_skew=1.2,
+    spatial_run=8.0,
+    barriers=40,
+)
+
+#: bt.C: block-tridiagonal solver, ~400 MB with strong reuse skew.
+BT_C = _profile(
+    name="bt.C",
+    fp_fraction=0.5,
+    mem_per_instr=0.06,
+    write_fraction=0.30,
+    hot_bytes=256 << 10,
+    warm_bytes=400 * MB,
+    cold_bytes=256 * MB,
+    p_hot=0.55,
+    p_warm=0.40,
+    p_cold=0.05,
+    warm_skew=3.5,
+    spatial_run=8.0,
+    barriers=25,
+)
+
+#: is.C: integer bucket sort.  Low FP, heavy ranking over ~350 MB of keys
+#: with skewed bucket reuse.
+IS_C = _profile(
+    name="is.C",
+    fp_fraction=0.05,
+    mem_per_instr=0.10,
+    write_fraction=0.45,
+    hot_bytes=128 << 10,
+    warm_bytes=350 * MB,
+    cold_bytes=256 * MB,
+    p_hot=0.60,
+    p_warm=0.35,
+    p_cold=0.05,
+    warm_skew=4.0,
+    spatial_run=10.0,
+    barriers=12,
+)
+
+#: mg.B: multigrid.  Grids at many resolutions: the fine grids stream,
+#: the coarse grids re-fit as the cache grows.
+MG_B = _profile(
+    name="mg.B",
+    fp_fraction=0.45,
+    mem_per_instr=0.09,
+    write_fraction=0.35,
+    hot_bytes=128 << 10,
+    warm_bytes=300 * MB,
+    cold_bytes=200 * MB,
+    p_hot=0.45,
+    p_warm=0.44,
+    p_cold=0.11,
+    warm_skew=3.0,
+    spatial_run=12.0,
+    barriers=60,
+)
+
+#: sp.C: scalar pentadiagonal solver; like bt.C with less skew.
+SP_C = _profile(
+    name="sp.C",
+    fp_fraction=0.5,
+    mem_per_instr=0.075,
+    write_fraction=0.30,
+    hot_bytes=192 << 10,
+    warm_bytes=450 * MB,
+    cold_bytes=256 * MB,
+    p_hot=0.50,
+    p_warm=0.42,
+    p_cold=0.08,
+    warm_skew=3.0,
+    spatial_run=8.0,
+    barriers=30,
+)
+
+#: ua.C: unstructured adaptive mesh.  Pointer-chasing but a small active
+#: set: the private L2s absorb most reuse, so L3 accesses are rare.
+UA_C = _profile(
+    name="ua.C",
+    fp_fraction=0.4,
+    mem_per_instr=0.03,
+    write_fraction=0.30,
+    hot_bytes=192 << 10,
+    warm_bytes=120 * MB,
+    cold_bytes=64 * MB,
+    p_hot=0.955,
+    p_warm=0.035,
+    p_cold=0.01,
+    warm_skew=1.5,
+    spatial_run=2.0,
+    barriers=25,
+    lock_rate_per_kinstr=1.2,
+    lock_hold_cycles=60,
+)
+
+#: cg.C: conjugate gradient over a huge sparse matrix.  Indirect accesses
+#: with essentially no reuse outside the L2: no L3 helps.
+CG_C = _profile(
+    name="cg.C",
+    fp_fraction=0.4,
+    mem_per_instr=0.085,
+    write_fraction=0.15,
+    hot_bytes=96 << 10,
+    warm_bytes=1400 * MB,
+    cold_bytes=800 * MB,
+    p_hot=0.52,
+    p_warm=0.08,
+    p_cold=0.40,
+    warm_skew=1.0,
+    spatial_run=1.5,
+    barriers=40,
+    lock_rate_per_kinstr=0.5,
+)
+
+#: The paper's eight applications, in its plotting order.
+NPB_PROFILES = (BT_C, CG_C, FT_B, IS_C, LU_C, MG_B, SP_C, UA_C)
+
+BY_NAME = {p.name: p for p in NPB_PROFILES}

@@ -1,0 +1,54 @@
+"""Workload-profile persistence: define applications in JSON files.
+
+Users characterizing their own applications shouldn't have to edit Python:
+a :class:`~repro.workloads.synthetic.WorkloadProfile` round-trips through
+a plain JSON object, one file per profile or a list per file.  The schema
+is exactly the dataclass's fields; unknown keys are rejected so typos
+fail loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.workloads.synthetic import WorkloadProfile
+
+_FIELDS = {f.name for f in dataclasses.fields(WorkloadProfile)}
+
+
+def profile_to_dict(profile: WorkloadProfile) -> dict:
+    return dataclasses.asdict(profile)
+
+
+def profile_from_dict(data: dict) -> WorkloadProfile:
+    unknown = set(data) - _FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown profile fields: {sorted(unknown)}; "
+            f"valid fields are {sorted(_FIELDS)}"
+        )
+    return WorkloadProfile(**data)
+
+
+def save_profiles(
+    profiles: list[WorkloadProfile], path: str | Path
+) -> None:
+    """Write profiles as a JSON list."""
+    Path(path).write_text(
+        json.dumps([profile_to_dict(p) for p in profiles], indent=2)
+        + "\n"
+    )
+
+
+def load_profiles(path: str | Path) -> list[WorkloadProfile]:
+    """Load one profile (object) or several (list) from a JSON file."""
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ValueError(
+            f"{path}: expected a JSON object or list of objects"
+        )
+    return [profile_from_dict(item) for item in data]

@@ -1,0 +1,118 @@
+"""Trace-file support: persist and replay workload event streams.
+
+The paper's methodology is trace-driven (COTSon captures instruction
+sequences that the timing simulator replays).  This module provides the
+equivalent plumbing for this reproduction: a compact text format for the
+simulator's event protocol, so reference streams can be captured once
+(from the synthetic generators or any external tool) and replayed
+deterministically across configurations.
+
+Format: one event per line.
+
+* ``S <instructions> <cycles> <address-hex> <R|W>`` -- a compute+memory step
+* ``C <instructions> <cycles>`` -- compute only
+* ``M <address-hex> <R|W>`` -- memory reference only
+* ``B`` -- barrier
+* ``L <lock-id> <hold-cycles>`` -- critical section
+* lines starting with ``#`` are comments
+
+Multi-threaded traces store one file per thread; :func:`save_trace` and
+:func:`load_trace` handle single streams, :func:`save_traces` /
+:func:`load_traces` a per-thread directory layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.sim.core import Event
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace lines."""
+
+
+def _format_event(event: Event) -> str:
+    kind = event[0]
+    if kind == "step":
+        _, n, cycles, address, is_write = event
+        return f"S {n} {cycles!r} {address:x} {'W' if is_write else 'R'}"
+    if kind == "compute":
+        _, n, cycles = event
+        return f"C {n} {cycles!r}"
+    if kind == "mem":
+        _, address, is_write = event
+        return f"M {address:x} {'W' if is_write else 'R'}"
+    if kind == "barrier":
+        return "B"
+    if kind == "lock":
+        _, lock_id, hold = event
+        return f"L {lock_id} {hold!r}"
+    raise TraceFormatError(f"cannot serialize event kind {kind!r}")
+
+
+def _parse_line(line: str, lineno: int) -> Event | None:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    fields = line.split()
+    try:
+        kind = fields[0]
+        if kind == "S":
+            return ("step", int(fields[1]), float(fields[2]),
+                    int(fields[3], 16), fields[4] == "W")
+        if kind == "C":
+            return ("compute", int(fields[1]), float(fields[2]))
+        if kind == "M":
+            return ("mem", int(fields[1], 16), fields[2] == "W")
+        if kind == "B":
+            return ("barrier",)
+        if kind == "L":
+            return ("lock", int(fields[1]), float(fields[2]))
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"line {lineno}: {line!r}: {exc}") from exc
+    raise TraceFormatError(f"line {lineno}: unknown record {kind!r}")
+
+
+def save_trace(events: Iterable[Event], path: str | Path) -> int:
+    """Write one thread's event stream; returns the event count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as fh:
+        fh.write("# repro trace v1\n")
+        for event in events:
+            fh.write(_format_event(event) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> Iterator[Event]:
+    """Lazily replay one thread's event stream."""
+    path = Path(path)
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            event = _parse_line(line, lineno)
+            if event is not None:
+                yield event
+
+
+def save_traces(
+    streams: list[Iterable[Event]], directory: str | Path
+) -> list[int]:
+    """Write one file per thread under ``directory`` (thread_NN.trace)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        save_trace(stream, directory / f"thread_{i:02d}.trace")
+        for i, stream in enumerate(streams)
+    ]
+
+
+def load_traces(directory: str | Path) -> list[Iterator[Event]]:
+    """Load every per-thread trace in ``directory``, in thread order."""
+    directory = Path(directory)
+    paths = sorted(directory.glob("thread_*.trace"))
+    if not paths:
+        raise FileNotFoundError(f"no thread_*.trace files in {directory}")
+    return [load_trace(p) for p in paths]

@@ -1,0 +1,45 @@
+"""Tests for the tag comparator circuit."""
+
+import pytest
+
+from repro.circuits.comparator import Comparator, way_select_delay
+from repro.tech.devices import device
+
+HP32 = device("hp-long-channel", 32)
+F32 = 32e-9
+
+
+class TestComparator:
+    def test_delay_grows_with_tag_width(self):
+        narrow = Comparator(HP32, F32, tag_bits=16)
+        wide = Comparator(HP32, F32, tag_bits=40)
+        assert wide.delay > narrow.delay
+
+    def test_energy_roughly_linear_in_bits(self):
+        a = Comparator(HP32, F32, tag_bits=16)
+        b = Comparator(HP32, F32, tag_bits=32)
+        assert b.energy == pytest.approx(2 * a.energy, rel=0.1)
+
+    def test_delay_small_vs_array_access(self):
+        """A 25-bit compare is a handful of FO4s, not nanoseconds."""
+        c = Comparator(HP32, F32, tag_bits=25)
+        assert c.delay < 20 * HP32.fo4
+
+    def test_leakage_positive(self):
+        assert Comparator(HP32, F32, tag_bits=25).leakage() > 0
+
+    def test_match_line_cap_scales(self):
+        a = Comparator(HP32, F32, tag_bits=10)
+        b = Comparator(HP32, F32, tag_bits=20)
+        assert b.match_line_cap == pytest.approx(2 * a.match_line_cap)
+
+
+class TestWaySelect:
+    def test_more_ways_more_delay(self):
+        small = way_select_delay(HP32, F32, tag_bits=25, ways=2)
+        big = way_select_delay(HP32, F32, tag_bits=25, ways=32)
+        assert big > small
+
+    def test_exceeds_bare_compare(self):
+        c = Comparator(HP32, F32, tag_bits=25)
+        assert way_select_delay(HP32, F32, 25, 8) > c.delay

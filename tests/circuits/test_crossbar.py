@@ -1,0 +1,45 @@
+"""Unit tests for the Orion-style crossbar model."""
+
+import pytest
+
+from repro.circuits.crossbar import design_crossbar
+from repro.tech.nodes import technology
+
+TECH = technology(32)
+
+
+class TestCrossbar:
+    def test_basic_metrics_positive(self):
+        xb = design_crossbar(TECH, 8, 8, 512)
+        assert xb.delay > 0
+        assert xb.energy_per_bit > 0
+        assert xb.leakage > 0
+        assert xb.area > 0
+
+    def test_more_ports_cost_more(self):
+        small = design_crossbar(TECH, 4, 4, 128)
+        big = design_crossbar(TECH, 8, 8, 128)
+        assert big.energy_per_bit > small.energy_per_bit
+        assert big.area > small.area
+        assert big.delay > small.delay
+
+    def test_wider_bus_more_leakage_and_area(self):
+        narrow = design_crossbar(TECH, 8, 8, 128)
+        wide = design_crossbar(TECH, 8, 8, 512)
+        assert wide.leakage > narrow.leakage
+        assert wide.area > narrow.area
+
+    def test_energy_per_transfer(self):
+        xb = design_crossbar(TECH, 8, 8, 512)
+        assert xb.energy_per_transfer() == pytest.approx(
+            512 * xb.energy_per_bit
+        )
+        assert xb.energy_per_transfer(64) == pytest.approx(
+            64 * xb.energy_per_bit
+        )
+
+    def test_llc_crossbar_magnitudes(self):
+        """The LLC study's 8x8 crossbar: sub-ns traverse, pJ/bit scale."""
+        xb = design_crossbar(TECH, 8, 8, 512)
+        assert xb.delay < 2e-9
+        assert 0.01e-12 < xb.energy_per_bit < 5e-12

@@ -1,0 +1,58 @@
+"""Unit tests for driver chains."""
+
+import pytest
+
+from repro.circuits.drivers import WireLoad, build_chain
+from repro.tech.devices import device
+
+HP32 = device("hp", 32)
+F32 = 32e-9
+
+
+class TestBuildChain:
+    def test_bigger_load_slower(self):
+        small = build_chain(HP32, F32, c_load=10e-15)
+        big = build_chain(HP32, F32, c_load=1000e-15)
+        assert big.delay > small.delay
+
+    def test_bigger_load_more_stages(self):
+        small = build_chain(HP32, F32, c_load=5e-15)
+        big = build_chain(HP32, F32, c_load=5e-12)
+        assert big.num_stages > small.num_stages
+
+    def test_wire_resistance_adds_delay(self):
+        bare = build_chain(HP32, F32, c_load=50e-15)
+        wired = build_chain(
+            HP32, F32, c_load=50e-15, wire=WireLoad(5e3, 50e-15)
+        )
+        assert wired.delay > bare.delay
+
+    def test_energy_includes_wire(self):
+        bare = build_chain(HP32, F32, c_load=50e-15)
+        wired = build_chain(
+            HP32, F32, c_load=50e-15, wire=WireLoad(0.0, 100e-15)
+        )
+        assert wired.energy > bare.energy
+
+    def test_voltage_swing_scales_energy(self):
+        base = build_chain(HP32, F32, c_load=100e-15)
+        boosted = build_chain(
+            HP32, F32, c_load=100e-15, voltage_swing=2 * HP32.vdd
+        )
+        assert boosted.energy == pytest.approx(4 * base.energy, rel=0.01)
+
+    def test_pitch_constraint_grows_area(self):
+        free = build_chain(HP32, F32, c_load=1e-12)
+        pitched = build_chain(HP32, F32, c_load=1e-12, pitch=3 * F32)
+        assert pitched.area > free.area
+
+    def test_nand_first_gate(self):
+        chain = build_chain(HP32, F32, c_load=100e-15, first_gate_inputs=3)
+        assert chain.num_stages >= 1
+        assert chain.c_in > 0
+
+    def test_leakage_positive(self):
+        assert build_chain(HP32, F32, c_load=1e-13).leakage > 0
+
+    def test_ramp_out_positive(self):
+        assert build_chain(HP32, F32, c_load=1e-13).ramp_out > 0

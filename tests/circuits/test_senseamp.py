@@ -1,0 +1,73 @@
+"""Unit tests for sense amplifiers and DRAM charge sharing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.senseamp import (
+    DRAM_MIN_SENSE_SIGNAL,
+    SenseAmp,
+    charge_share_signal,
+)
+from repro.tech.devices import device
+
+LSTP32 = device("lstp", 32)
+F32 = 32e-9
+
+
+class TestChargeShare:
+    def test_formula(self):
+        """dV = (VDD/2) Cs/(Cs+Cbl)."""
+        assert charge_share_signal(30e-15, 30e-15, 1.0) == pytest.approx(0.25)
+
+    def test_more_bitline_cap_less_signal(self):
+        a = charge_share_signal(30e-15, 20e-15, 1.0)
+        b = charge_share_signal(30e-15, 80e-15, 1.0)
+        assert a > b
+
+    @given(
+        cs=st.floats(min_value=5e-15, max_value=60e-15),
+        cbl=st.floats(min_value=5e-15, max_value=500e-15),
+        vdd=st.floats(min_value=0.8, max_value=2.0),
+    )
+    def test_signal_bounded_by_half_vdd(self, cs, cbl, vdd):
+        sig = charge_share_signal(cs, cbl, vdd)
+        assert 0 < sig < vdd / 2
+
+
+class TestSenseAmp:
+    def test_sram_delay_independent_of_bitline(self):
+        sa = SenseAmp(LSTP32, F32)
+        assert sa.sram_delay() > 0
+
+    def test_dram_delay_grows_with_bitline_cap(self):
+        sa = SenseAmp(LSTP32, F32)
+        d1 = sa.dram_delay(20e-15, 0.2, 1.0)
+        d2 = sa.dram_delay(80e-15, 0.2, 1.0)
+        assert d2 > d1
+
+    def test_dram_delay_grows_with_weaker_signal(self):
+        sa = SenseAmp(LSTP32, F32)
+        strong = sa.dram_delay(40e-15, 0.3, 1.0)
+        weak = sa.dram_delay(40e-15, 0.1, 1.0)
+        assert weak > strong
+
+    def test_signal_below_limit_rejected(self):
+        sa = SenseAmp(LSTP32, F32)
+        with pytest.raises(ValueError, match="below the"):
+            sa.dram_delay(40e-15, DRAM_MIN_SENSE_SIGNAL * 0.9, 1.0)
+
+    def test_dram_energy_exceeds_sram_energy(self):
+        """Full-rail restore of both bitlines costs far more than the
+        limited-swing SRAM sense -- a core SRAM/DRAM asymmetry."""
+        sa = SenseAmp(LSTP32, F32)
+        cbl = 50e-15
+        assert sa.dram_energy(cbl, 1.0) > 3 * sa.sram_energy(cbl)
+
+    def test_energy_scales_with_bitline(self):
+        sa = SenseAmp(LSTP32, F32)
+        assert sa.dram_energy(80e-15, 1.0) > sa.dram_energy(20e-15, 1.0)
+
+    def test_area_and_leakage_positive(self):
+        sa = SenseAmp(LSTP32, F32)
+        assert sa.area() > 0
+        assert sa.leakage() > 0

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.tech.cells import CellTech
+from repro.tech.nodes import technology
+
+
+@pytest.fixture(scope="session")
+def tech32():
+    return technology(32)
+
+
+@pytest.fixture(scope="session")
+def tech90():
+    return technology(90)
+
+
+@pytest.fixture(scope="session", params=[90, 65, 45, 32])
+def any_node(request):
+    return technology(request.param)
+
+
+@pytest.fixture(scope="session", params=list(CellTech))
+def any_cell_tech(request):
+    return request.param

@@ -1,0 +1,109 @@
+"""Integration tests for the public CACTI-D solve API."""
+
+import pytest
+
+from repro.core.cacti import CactiD, solve, solve_main_memory
+from repro.core.config import AccessMode, MemorySpec
+from repro.array.mainmem import MainMemorySpec
+from repro.tech.cells import CellTech
+
+
+@pytest.fixture(scope="module")
+def sram_1mb():
+    return solve(MemorySpec(capacity_bytes=1 << 20, block_bytes=64,
+                            associativity=8, node_nm=32.0))
+
+
+@pytest.fixture(scope="module")
+def lp_8mb():
+    return solve(MemorySpec(capacity_bytes=8 << 20, block_bytes=64,
+                            associativity=8, node_nm=32.0,
+                            cell_tech=CellTech.LP_DRAM))
+
+
+@pytest.fixture(scope="module")
+def comm_8mb():
+    return solve(MemorySpec(capacity_bytes=8 << 20, block_bytes=64,
+                            associativity=8, node_nm=32.0,
+                            cell_tech=CellTech.COMM_DRAM))
+
+
+class TestCacheSolve:
+    def test_cache_has_tag_array(self, sram_1mb):
+        assert sram_1mb.tag is not None
+        assert sram_1mb.tag.area < sram_1mb.data.area
+
+    def test_plain_ram_has_no_tag(self):
+        s = solve(MemorySpec(capacity_bytes=1 << 20, associativity=None,
+                             node_nm=32.0))
+        assert s.tag is None
+
+    def test_headline_metrics_sane(self, sram_1mb):
+        assert 0.1e-9 < sram_1mb.access_time < 10e-9
+        assert 0.01e-9 < sram_1mb.e_read < 10e-9
+        assert 0.5e-6 < sram_1mb.area < 20e-6
+        assert sram_1mb.p_refresh == 0.0
+
+    def test_summary_renders(self, sram_1mb):
+        text = sram_1mb.summary()
+        assert "access time" in text
+
+
+class TestTechnologyOrdering:
+    """The headline CACTI-D contrasts between the three technologies."""
+
+    def test_density(self, sram_1mb, lp_8mb, comm_8mb):
+        """Same capacity: COMM < LP < SRAM area (Table 1 cell sizes)."""
+        sram_8mb = solve(
+            MemorySpec(capacity_bytes=8 << 20, block_bytes=64,
+                       associativity=8, node_nm=32.0)
+        )
+        assert comm_8mb.area < lp_8mb.area < sram_8mb.area
+
+    def test_leakage(self, lp_8mb, comm_8mb):
+        """LSTP-periphery COMM-DRAM leaks orders less than LP-DRAM."""
+        assert comm_8mb.p_leakage < lp_8mb.p_leakage / 20
+
+    def test_speed(self, lp_8mb, comm_8mb):
+        """COMM-DRAM is substantially slower than LP-DRAM (paper: ~3x)."""
+        assert comm_8mb.access_time > 1.5 * lp_8mb.access_time
+
+    def test_dram_refresh_ordering(self, lp_8mb, comm_8mb):
+        """LP-DRAM's 0.12 ms retention costs far more refresh power than
+        COMM-DRAM's 64 ms at similar capacity."""
+        assert lp_8mb.p_refresh > 10 * comm_8mb.p_refresh
+
+    def test_dram_random_cycle_penalty(self, lp_8mb):
+        """Destructive readout: DRAM random cycle exceeds access-path
+        cycle of SRAM of the same organization class."""
+        assert lp_8mb.random_cycle_time > lp_8mb.interleave_cycle_time
+
+
+class TestAccessModes:
+    def test_sequential_slower_but_lower_energy(self):
+        base = dict(capacity_bytes=4 << 20, block_bytes=64, associativity=8,
+                    node_nm=32.0)
+        normal = solve(MemorySpec(**base, access_mode=AccessMode.NORMAL))
+        seq = solve(MemorySpec(**base, access_mode=AccessMode.SEQUENTIAL))
+        assert seq.access_time > normal.access_time
+        assert seq.e_read < normal.e_read
+
+
+class TestMainMemory:
+    def test_solve_at_32nm(self):
+        mm = solve_main_memory(
+            MainMemorySpec(capacity_bits=8 * 2**30), node_nm=32.0
+        )
+        assert mm.timing.t_rc > 20e-9
+        assert mm.energies.e_activate > 0.1e-9
+        assert mm.area_efficiency > 0.4
+
+    def test_facade(self):
+        tool = CactiD(node_nm=32.0)
+        s = tool.solve(MemorySpec(capacity_bytes=256 << 10, node_nm=32.0))
+        assert s.access_time > 0
+
+    def test_facade_rejects_node_mismatch(self):
+        tool = CactiD(node_nm=32.0)
+        with pytest.raises(ValueError, match="facade"):
+            tool.solve(MemorySpec(capacity_bytes=256 << 10, node_nm=45.0))

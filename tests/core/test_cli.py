@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        assert parse_size("32K") == 32 << 10
+        assert parse_size("2M") == 2 << 20
+        assert parse_size("1G") == 1 << 30
+        assert parse_size("1.5M") == int(1.5 * (1 << 20))
+
+    def test_raw_integers(self):
+        assert parse_size("4096") == 4096
+
+    def test_lowercase(self):
+        assert parse_size("64k") == 64 << 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_size("M")
+        with pytest.raises(ValueError):
+            parse_size("abc")
+
+
+class TestCommands:
+    def test_cache(self, capsys):
+        rc = main(["cache", "--capacity", "256K", "--assoc", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "access time" in out
+        assert "leakage power" in out
+
+    def test_plain_ram(self, capsys):
+        rc = main(["cache", "--capacity", "256K", "--assoc", "0"])
+        assert rc == 0
+
+    def test_cache_lp_dram_sequential(self, capsys):
+        rc = main([
+            "cache", "--capacity", "1M", "--tech", "lp-dram",
+            "--sequential", "--optimize", "energy-delay",
+        ])
+        assert rc == 0
+        assert "lp-dram" in capsys.readouterr().out
+
+    def test_main_memory(self, capsys):
+        rc = main(["main-memory", "--capacity", "1G", "--node", "78"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tRCD" in out and "refresh power" in out
+
+    def test_invalid_spec_returns_error_code(self, capsys):
+        rc = main(["cache", "--capacity", "5", "--assoc", "3"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_ddr3(self, capsys):
+        rc = main(["validate-ddr3"])
+        assert rc == 0
+        assert "mean |error|" in capsys.readouterr().out

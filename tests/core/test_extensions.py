@@ -1,0 +1,39 @@
+"""Tests for ECC and temperature extensions on the solve API."""
+
+import pytest
+
+from repro import MemorySpec, solve
+from repro.core.cacti import data_array_spec
+from repro.models.leakage import TEMPERATURE_LEAKAGE_FACTOR
+
+
+class TestEcc:
+    def test_spec_widens_array(self):
+        base = data_array_spec(MemorySpec(capacity_bytes=1 << 20))
+        ecc = data_array_spec(MemorySpec(capacity_bytes=1 << 20, ecc=True))
+        assert ecc.output_bits == base.output_bits * 9 // 8
+        assert ecc.capacity_bits == base.capacity_bits * 9 // 8
+
+    def test_ecc_costs_area_and_energy(self):
+        base = solve(MemorySpec(capacity_bytes=1 << 20))
+        ecc = solve(MemorySpec(capacity_bytes=1 << 20, ecc=True))
+        assert ecc.area > base.area * 1.05
+        assert ecc.e_read > base.e_read * 1.05
+        # But not more than the storage overhead suggests.
+        assert ecc.area < base.area * 1.35
+
+
+class TestTemperature:
+    def test_default_operating_point_is_identity(self):
+        s = solve(MemorySpec(capacity_bytes=256 << 10))
+        assert s.p_leakage_at(360.0) == pytest.approx(s.p_leakage)
+
+    def test_room_temperature_divides_by_factor(self):
+        s = solve(MemorySpec(capacity_bytes=256 << 10))
+        assert s.p_leakage_at(300.0) == pytest.approx(
+            s.p_leakage / TEMPERATURE_LEAKAGE_FACTOR
+        )
+
+    def test_hotter_leaks_more(self):
+        s = solve(MemorySpec(capacity_bytes=256 << 10))
+        assert s.p_leakage_at(400.0) > s.p_leakage

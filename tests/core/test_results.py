@@ -1,0 +1,84 @@
+"""Unit tests for Solution composition semantics."""
+
+import pytest
+
+from repro.core.cacti import solve
+from repro.core.config import AccessMode, MemorySpec
+from repro.tech.cells import CellTech
+
+
+@pytest.fixture(scope="module")
+def normal():
+    return solve(MemorySpec(capacity_bytes=2 << 20, block_bytes=64,
+                            associativity=8, node_nm=32.0,
+                            cell_tech=CellTech.LP_DRAM))
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return solve(MemorySpec(capacity_bytes=2 << 20, block_bytes=64,
+                            associativity=8, node_nm=32.0,
+                            cell_tech=CellTech.LP_DRAM,
+                            access_mode=AccessMode.SEQUENTIAL))
+
+
+class TestComposition:
+    def test_normal_access_is_max_of_paths(self, normal):
+        assert normal.access_time >= normal.data.t_access
+        assert normal.access_time >= normal.tag.t_access
+
+    def test_sequential_access_is_sum(self, sequential):
+        assert (
+            sequential.access_time
+            > sequential.tag.t_access + sequential.data.t_access
+        )
+
+    def test_sequential_reads_one_way(self, normal, sequential):
+        """Sequential mode divides the activation energy by the ways."""
+        assert sequential.e_read < normal.e_read
+        ways = normal.spec.associativity
+        expected = (
+            normal.tag.e_read_access
+            + normal.data.e_activate / ways
+            + normal.data.e_read_column
+            + normal.data.e_precharge / ways
+        )
+        assert sequential.e_read == pytest.approx(expected, rel=0.05)
+
+    def test_writes_unchanged_by_mode(self, normal, sequential):
+        """Writes know their way up front; both modes pay the same."""
+        assert sequential.e_write == pytest.approx(normal.e_write, rel=0.05)
+
+    def test_totals_include_tag(self, normal):
+        assert normal.area > normal.data.area
+        assert normal.p_leakage > normal.data.p_leakage
+        assert normal.p_refresh >= normal.data.p_refresh
+
+    def test_cycle_times_take_worst_array(self, normal):
+        assert normal.random_cycle_time == max(
+            normal.data.t_random_cycle, normal.tag.t_random_cycle
+        )
+        assert normal.interleave_cycle_time == max(
+            normal.data.t_interleave, normal.tag.t_interleave
+        )
+
+    def test_area_efficiency_weighted_average(self, normal):
+        lo = min(normal.data.area_efficiency, normal.tag.area_efficiency)
+        hi = max(normal.data.area_efficiency, normal.tag.area_efficiency)
+        assert lo <= normal.area_efficiency <= hi
+
+
+class TestUnitViews:
+    def test_unit_conversions(self, normal):
+        assert normal.access_time_ns == pytest.approx(
+            normal.access_time * 1e9
+        )
+        assert normal.e_read_nj == pytest.approx(normal.e_read * 1e9)
+        assert normal.p_leakage_mw == pytest.approx(normal.p_leakage * 1e3)
+        assert normal.area_mm2 == pytest.approx(normal.area * 1e6)
+
+    def test_summary_mentions_all_headlines(self, normal):
+        text = normal.summary()
+        for fragment in ("access time", "random cycle", "interleave",
+                         "read energy", "leakage", "refresh", "area"):
+            assert fragment in text

@@ -1,0 +1,83 @@
+"""Unit tests for page policies and the open/closed crossover."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.page_policy import (
+    ClosedPagePolicy,
+    OpenPagePolicy,
+    crossover_hit_ratio,
+    expected_access_latency,
+)
+
+T_RCD, T_CAS, T_RP = 13e-9, 13e-9, 13e-9
+
+
+class TestPolicies:
+    def test_open_never_closes(self):
+        assert not OpenPagePolicy().close_after_access(0.0)
+
+    def test_closed_always_closes(self):
+        assert ClosedPagePolicy().close_after_access(1.0)
+
+
+class TestExpectedLatency:
+    def test_closed_independent_of_hit_ratio(self):
+        p = ClosedPagePolicy()
+        a = expected_access_latency(T_RCD, T_CAS, T_RP, 0.0, p)
+        b = expected_access_latency(T_RCD, T_CAS, T_RP, 0.9, p)
+        assert a == b == pytest.approx(T_RCD + T_CAS)
+
+    def test_open_wins_at_high_hit_ratio(self):
+        open_lat = expected_access_latency(
+            T_RCD, T_CAS, T_RP, 0.95, OpenPagePolicy()
+        )
+        closed_lat = expected_access_latency(
+            T_RCD, T_CAS, T_RP, 0.95, ClosedPagePolicy()
+        )
+        assert open_lat < closed_lat
+
+    def test_closed_wins_at_low_hit_ratio(self):
+        """The paper's LLC argument: random interleaved requests have a
+        very low page-hit ratio, so proactive closing is better."""
+        open_lat = expected_access_latency(
+            T_RCD, T_CAS, T_RP, 0.05, OpenPagePolicy()
+        )
+        closed_lat = expected_access_latency(
+            T_RCD, T_CAS, T_RP, 0.05, ClosedPagePolicy()
+        )
+        assert closed_lat < open_lat
+
+
+class TestCrossover:
+    def test_formula(self):
+        h = crossover_hit_ratio(T_RCD, T_CAS, T_RP)
+        assert h == pytest.approx(T_RP / (T_RP + T_RCD))
+
+    @given(
+        rcd=st.floats(min_value=1e-9, max_value=50e-9),
+        rp=st.floats(min_value=1e-9, max_value=50e-9),
+    )
+    def test_latencies_equal_at_crossover(self, rcd, rp):
+        h = crossover_hit_ratio(rcd, T_CAS, rp)
+        open_lat = expected_access_latency(rcd, T_CAS, rp, h,
+                                           OpenPagePolicy())
+        closed_lat = expected_access_latency(rcd, T_CAS, rp, h,
+                                             ClosedPagePolicy())
+        assert open_lat == pytest.approx(closed_lat, rel=1e-9)
+
+    @given(
+        rcd=st.floats(min_value=1e-9, max_value=50e-9),
+        rp=st.floats(min_value=1e-9, max_value=50e-9),
+        h=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_policy_choice_consistent_with_crossover(self, rcd, rp, h):
+        crossover = crossover_hit_ratio(rcd, T_CAS, rp)
+        open_lat = expected_access_latency(rcd, T_CAS, rp, h,
+                                           OpenPagePolicy())
+        closed_lat = expected_access_latency(rcd, T_CAS, rp, h,
+                                             ClosedPagePolicy())
+        if h > crossover + 1e-9:
+            assert open_lat <= closed_lat
+        elif h < crossover - 1e-9:
+            assert closed_lat <= open_lat

@@ -1,0 +1,126 @@
+"""Unit tests for the set-associative MESI cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import Cache, CacheConfig, MesiState
+
+
+def make(capacity=8192, block=64, assoc=4):
+    return Cache(CacheConfig(capacity_bytes=capacity, block_bytes=block,
+                             associativity=assoc, access_cycles=2))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = make()
+        assert c.access(0x1000, False) is None
+        c.fill(0x1000, MesiState.EXCLUSIVE)
+        assert c.access(0x1000, False) is not None
+
+    def test_block_granularity(self):
+        c = make()
+        c.fill(0x1000, MesiState.EXCLUSIVE)
+        assert c.access(0x1000 + 63, False) is not None
+        assert c.access(0x1000 + 64, False) is None
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=1000, block_bytes=64,
+                        associativity=4, access_cycles=1)
+
+    def test_write_promotes_exclusive_to_modified(self):
+        c = make()
+        c.fill(0x40, MesiState.EXCLUSIVE)
+        line = c.access(0x40, True)
+        assert line.state is MesiState.MODIFIED
+
+    def test_write_does_not_silently_upgrade_shared(self):
+        c = make()
+        c.fill(0x40, MesiState.SHARED)
+        line = c.access(0x40, True)
+        assert line.state is MesiState.SHARED  # coherence must intervene
+
+
+class TestLru:
+    def test_lru_eviction(self):
+        c = make(capacity=2 * 64, block=64, assoc=2)  # one set, 2 ways
+        c.fill(0 * 64, MesiState.EXCLUSIVE)
+        c.fill(1 * 64, MesiState.EXCLUSIVE)
+        c.access(0 * 64, False)  # make way 0 MRU
+        victim = c.fill(2 * 64, MesiState.EXCLUSIVE)
+        assert victim is not None
+        victim_addr, dirty = victim
+        assert victim_addr == 1 * 64
+        assert not dirty
+
+    def test_dirty_eviction_flagged(self):
+        c = make(capacity=2 * 64, block=64, assoc=2)
+        c.fill(0, MesiState.MODIFIED)
+        c.fill(64, MesiState.EXCLUSIVE)
+        c.access(64, False)
+        __, dirty = c.fill(128, MesiState.EXCLUSIVE)
+        assert dirty
+
+    def test_victim_address_reconstruction(self):
+        c = make(capacity=64 * 64, block=64, assoc=2)
+        addr = 0x12340
+        c.fill(addr, MesiState.EXCLUSIVE)
+        sets = c.config.num_sets
+        conflicting = addr + sets * 64
+        c.fill(conflicting, MesiState.EXCLUSIVE)
+        victim = c.fill(conflicting + sets * 64, MesiState.EXCLUSIVE)
+        block = addr // 64
+        assert victim[0] // 64 in (block, conflicting // 64)
+
+
+class TestInvalidation:
+    def test_invalidate_returns_dirty(self):
+        c = make()
+        c.fill(0x80, MesiState.MODIFIED)
+        assert c.invalidate(0x80) is True
+        assert c.access(0x80, False) is None
+
+    def test_invalidate_missing_is_noop(self):
+        c = make()
+        assert c.invalidate(0x80) is False
+
+
+class TestCapacity:
+    def test_occupancy_bounded(self):
+        c = make(capacity=4096, block=64, assoc=4)
+        for i in range(1000):
+            c.fill(i * 64, MesiState.EXCLUSIVE)
+        assert c.occupancy() <= 4096 // 64
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                    max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_invariant_under_random_traffic(self, addresses):
+        c = make(capacity=2048, block=64, assoc=2)
+        for a in addresses:
+            if c.access(a, False) is None:
+                c.fill(a, MesiState.EXCLUSIVE)
+        assert c.occupancy() <= 2048 // 64
+        # Every filled line is findable.
+        assert c.lookup(addresses[-1]) is not None
+
+    def test_miss_rate_tracks(self):
+        c = make()
+        c.access(0, False)
+        c.fill(0, MesiState.EXCLUSIVE)
+        c.access(0, False)
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_working_set_fit_gives_high_hit_rate(self):
+        """A working set within capacity converges to ~100 % hits."""
+        c = make(capacity=64 * 1024, block=64, assoc=8)
+        lines = [(i * 64) for i in range(512)]  # 32 KB working set
+        for _ in range(4):
+            for a in lines:
+                if c.access(a, False) is None:
+                    c.fill(a, MesiState.EXCLUSIVE)
+        c.hits = c.misses = 0
+        for a in lines:
+            c.access(a, False)
+        assert c.miss_rate == 0.0

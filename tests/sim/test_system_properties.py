@@ -1,0 +1,206 @@
+"""Property and failure-injection tests on the full-system simulator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.cache import CacheConfig
+from repro.sim.dram_channel import MemoryTimingCycles
+from repro.sim.system import L3Config, System, SystemConfig, run_workload
+from repro.workloads.synthetic import WorkloadProfile, event_stream
+
+MEM = MemoryTimingCycles(
+    t_rcd=30, t_cas=31, t_rp=28, t_ras=70, t_rc=98, t_rrd=15, t_burst=5
+)
+
+
+def config(l3=True, cores=2, threads=2, l3_kb=64):
+    return SystemConfig(
+        name="prop",
+        l1=CacheConfig(capacity_bytes=1024, block_bytes=64, associativity=2,
+                       access_cycles=2),
+        l2=CacheConfig(capacity_bytes=4096, block_bytes=64, associativity=4,
+                       access_cycles=3),
+        l3=L3Config(capacity_bytes=l3_kb << 10, associativity=8,
+                    access_cycles=5, bank_cycle=1) if l3 else None,
+        memory=MEM,
+        num_cores=cores,
+        threads_per_core=threads,
+    )
+
+
+def tiny_profile(**overrides):
+    params = dict(
+        name="prop",
+        instructions_per_thread=2000,
+        fp_fraction=0.4,
+        mem_per_instr=0.1,
+        write_fraction=0.3,
+        hot_bytes=2048,
+        warm_bytes=32 << 10,
+        cold_bytes=64 << 10,
+        p_hot=0.5,
+        p_warm=0.4,
+        p_cold=0.1,
+        barriers=4,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+addresses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 22), st.booleans()),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestConservation:
+    @given(addresses)
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_counter_hierarchy_invariants(self, refs):
+        """Traffic can only narrow going down the hierarchy."""
+        events = [("mem", a * 64, w) for a, w in refs]
+        cfg = config()
+        system = System(cfg)
+        stats = system.run(
+            [iter(list(events)) for _ in range(cfg.num_threads)]
+        )
+        c = stats.counters
+        l1 = c.l1_reads + c.l1_writes
+        l2 = c.l2_reads + c.l2_writes
+        l3 = c.l3_reads + c.l3_writes
+        assert l1 == len(events) * cfg.num_threads
+        assert l2 <= l1
+        assert l3 <= l2 + c.coherence_invalidations
+        # Demand memory reads cannot exceed L3 traffic.
+        assert c.mem_reads <= l3
+
+    @given(addresses)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_breakdown_matches_thread_time(self, refs):
+        """Per-thread attributed cycles sum to the thread's clock."""
+        events = [("compute", 10, 31.0)] + [
+            ("mem", a * 64, w) for a, w in refs
+        ]
+        cfg = config(cores=1, threads=1)
+        system = System(cfg)
+        stats = system.run([iter(events)])
+        assert stats.breakdown.total == pytest.approx(stats.cycles)
+
+    @given(addresses)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_monotone_time(self, refs):
+        """More work never makes the run shorter."""
+        cfg = config(cores=1, threads=1)
+        half = [("mem", a * 64, w) for a, w in refs[: len(refs) // 2 + 1]]
+        full = [("mem", a * 64, w) for a, w in refs]
+        t_half = System(cfg).run([iter(half)]).cycles
+        t_full = System(cfg).run([iter(full)]).cycles
+        assert t_full >= t_half - 1e-9
+
+
+class TestWorkloadIntegration:
+    def test_single_thread_system(self):
+        cfg = config(cores=1, threads=1)
+        profile = tiny_profile()
+        stats = run_workload(
+            cfg, lambda tid: event_stream(profile, tid, 1)
+        )
+        assert stats.instructions >= profile.instructions_per_thread
+
+    def test_extreme_memory_intensity(self):
+        """mem_per_instr = 1.0: one reference per instruction."""
+        profile = tiny_profile(mem_per_instr=1.0,
+                               instructions_per_thread=500)
+        cfg = config()
+        stats = run_workload(
+            cfg, lambda tid: event_stream(profile, tid, cfg.num_threads)
+        )
+        assert stats.counters.l1_reads + stats.counters.l1_writes >= 400
+
+    def test_no_barriers(self):
+        profile = tiny_profile(barriers=0)
+        cfg = config()
+        stats = run_workload(
+            cfg, lambda tid: event_stream(profile, tid, cfg.num_threads)
+        )
+        assert stats.breakdown.barrier == 0.0
+
+    def test_pure_streaming(self):
+        """All-cold traffic: misses dominate, L3 barely helps."""
+        profile = tiny_profile(p_hot=0.0, p_warm=0.0, p_cold=1.0,
+                               cold_bytes=8 << 20, spatial_run=1.0)
+        cfg = config()
+        stats = run_workload(
+            cfg, lambda tid: event_stream(profile, tid, cfg.num_threads)
+        )
+        assert stats.counters.mem_reads > 0
+
+    def test_all_hot_traffic_stays_in_l1(self):
+        profile = tiny_profile(p_hot=1.0, p_warm=0.0, p_cold=0.0,
+                               hot_bytes=512, spatial_run=1.0)
+        cfg = config(cores=1, threads=1)
+        stats = run_workload(cfg, lambda tid: event_stream(profile, tid, 1))
+        l1 = stats.counters.l1_reads + stats.counters.l1_writes
+        l2 = stats.counters.l2_reads + stats.counters.l2_writes
+        assert l2 < 0.15 * l1  # only cold misses and write upgrades
+
+    def test_writes_generate_writebacks(self):
+        profile = tiny_profile(write_fraction=1.0, p_hot=0.0, p_warm=1.0,
+                               p_cold=0.0, warm_bytes=1 << 20)
+        cfg = config(l3=False, cores=1, threads=1)
+        stats = run_workload(cfg, lambda tid: event_stream(profile, tid, 1))
+        assert stats.counters.mem_writes > 0
+
+    def test_deterministic_given_seed(self):
+        profile = tiny_profile()
+        cfg = config()
+
+        def run():
+            return run_workload(
+                cfg_fresh(),
+                lambda tid: event_stream(profile, tid, cfg.num_threads,
+                                         seed=99),
+            )
+
+        def cfg_fresh():
+            return config()
+
+        a, b = run(), run()
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.counters.mem_reads == b.counters.mem_reads
+
+
+class TestAnalyticCrossCheck:
+    def test_uniform_region_hit_rate_matches_capacity_ratio(self):
+        """Cross-check the simulator against the analytic model: for
+        uniform random reuse over a region of size W, an LRU cache of
+        capacity C approaches hit rate ~ C/W in steady state."""
+        region_lines = 4096
+        cache_lines = 1024  # C/W = 0.25
+        cfg = SystemConfig(
+            name="analytic",
+            l1=CacheConfig(64, 64, 1, 1),  # pass-through single line
+            l2=CacheConfig(cache_lines * 64, 64, 8, 3),
+            l3=None,
+            memory=MEM,
+            num_cores=1,
+            threads_per_core=1,
+        )
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        addresses = rng.integers(0, region_lines, 30_000) * 64
+        system = System(cfg)
+        stats = system.run([iter([("mem", int(a), False)
+                                  for a in addresses])])
+        warmup_misses = cache_lines
+        demand = len(addresses)
+        misses = stats.counters.mem_reads - warmup_misses
+        miss_rate = misses / demand
+        expected = 1.0 - cache_lines / region_lines
+        assert miss_rate == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,40 @@
+"""Tests for the bottom-die floorplan derivation (paper section 3.1)."""
+
+import pytest
+
+from repro.study.floorplan import (
+    PAPER_BANK_BUDGET,
+    derive_floorplan,
+)
+
+
+class TestFloorplan:
+    @pytest.fixture(scope="class")
+    def fp(self):
+        return derive_floorplan()
+
+    def test_bank_budget_matches_paper(self, fp):
+        """1/8th of the scaled bottom die must land near 6.2 mm^2."""
+        assert fp.llc_bank_budget == pytest.approx(PAPER_BANK_BUDGET,
+                                                   rel=0.15)
+
+    def test_die_is_eight_bank_budgets(self, fp):
+        assert fp.bottom_die_area == pytest.approx(8 * fp.llc_bank_budget)
+
+    def test_per_core_sums_components(self, fp):
+        total = (fp.core_logic_area + fp.fpu_area + fp.l1_area
+                 + fp.l2_area + fp.glue_area)
+        assert fp.per_core == pytest.approx(total)
+
+    def test_l2_is_largest_cache_component(self, fp):
+        assert fp.l2_area > fp.l1_area
+
+    def test_report_renders(self, fp):
+        text = fp.report()
+        assert "LLC bank budget" in text and "mm^2" in text
+
+    def test_scaling_with_node(self):
+        """A 45 nm bottom die is larger, so banks get more area."""
+        fp45 = derive_floorplan(node_nm=45.0)
+        fp32 = derive_floorplan(node_nm=32.0)
+        assert fp45.core_logic_area > fp32.core_logic_area

@@ -1,0 +1,64 @@
+"""End-to-end integration: CACTI-D solves feeding the simulator.
+
+The paper's flow is: CACTI-D produces the hierarchy's latencies and
+energies; the architectural simulator consumes them; the power model
+combines both.  These tests run that complete path (``source="cacti"``)
+and check the study's headline orderings, plus robustness of the
+qualitative conclusions to the workload random seed.
+"""
+
+import pytest
+
+from repro.study.runner import run_one, run_study
+from repro.workloads.npb import CG_C, FT_B
+
+INSTR = 25_000
+
+
+@pytest.mark.slow
+class TestCactiSourcedStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_study(
+            profiles=(FT_B, CG_C),
+            configs=("nol3", "sram", "lp_dram_ed", "cm_dram_c"),
+            source="cacti",
+            instructions_per_thread=INSTR,
+        )
+
+    def test_ft_benefits_from_l3(self, study):
+        assert study.normalized_cycles("ft.B", "lp_dram_ed") < 0.8
+
+    def test_comm_l3_minimal_power_increase(self, study):
+        sram = study.mean_hierarchy_power_increase("sram")
+        comm = study.mean_hierarchy_power_increase("cm_dram_c")
+        assert comm < sram
+
+    def test_comm_edp_beats_sram(self, study):
+        assert (
+            study.mean_energy_delay_improvement("cm_dram_c")
+            > study.mean_energy_delay_improvement("sram")
+        )
+
+    def test_solved_latencies_propagate(self, study):
+        """The L3 service time must reflect the solved access latency."""
+        r = study.get("ft.B", "lp_dram_ed")
+        assert r.stats.breakdown.l3 > 0
+
+
+class TestSeedRobustness:
+    """The qualitative conclusions must not hinge on one RNG seed."""
+
+    @pytest.mark.parametrize("seed", [7, 1234, 99999])
+    def test_ft_l3_benefit_for_any_seed(self, seed):
+        nol3 = run_one(FT_B.with_instructions(INSTR), "nol3", seed=seed)
+        lp = run_one(FT_B.with_instructions(INSTR), "lp_dram_ed",
+                     seed=seed)
+        assert lp.ipc > nol3.ipc * 1.25
+
+    @pytest.mark.parametrize("seed", [7, 99999])
+    def test_cg_flat_for_any_seed(self, seed):
+        nol3 = run_one(CG_C.with_instructions(INSTR), "nol3", seed=seed)
+        comm = run_one(CG_C.with_instructions(INSTR), "cm_dram_c",
+                       seed=seed)
+        assert abs(comm.ipc / nol3.ipc - 1.0) < 0.30

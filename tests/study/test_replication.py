@@ -1,0 +1,61 @@
+"""Tests for seed-replicated study runs."""
+
+import pytest
+
+from repro.study.replication import Replicated, replicate, speedup_interval
+from repro.workloads.npb import FT_B
+
+INSTR = 15_000
+SEEDS = (7, 99)
+
+
+@pytest.fixture(scope="module")
+def nol3():
+    return replicate(FT_B.with_instructions(INSTR), "nol3", seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def lp():
+    return replicate(FT_B.with_instructions(INSTR), "lp_dram_ed",
+                     seeds=SEEDS)
+
+
+class TestReplicated:
+    def test_runs_one_per_seed(self, nol3):
+        assert len(nol3.runs) == len(SEEDS)
+
+    def test_mean_between_extremes(self, nol3):
+        values = [r.ipc for r in nol3.runs]
+        assert min(values) <= nol3.mean("ipc") <= max(values)
+
+    def test_std_nonnegative(self, nol3):
+        assert nol3.std("ipc") >= 0.0
+
+    def test_confidence_shrinks_with_more_seeds(self, nol3):
+        half2 = nol3.confidence_half_width("ipc")
+        three = Replicated(app=nol3.app, config=nol3.config,
+                           runs=nol3.runs + (nol3.runs[0],))
+        # Same dispersion-ish, more samples: narrower interval.
+        assert three.confidence_half_width("ipc") <= half2 * 1.01
+
+    def test_low_seed_sensitivity(self, nol3):
+        """The synthetic streams are long enough that the coefficient of
+        variation across seeds stays small."""
+        assert nol3.cv("ipc") < 0.10
+
+    def test_unknown_metric(self, nol3):
+        with pytest.raises(ValueError, match="unknown metric"):
+            nol3.mean("colour")
+
+
+class TestSpeedupInterval:
+    def test_l3_speedup_excludes_one(self, nol3, lp):
+        """The ft.B L3 speedup must be significant: the whole interval
+        sits above 1.0."""
+        mean, low, high = speedup_interval(nol3, lp)
+        assert low > 1.0
+        assert low <= mean <= high
+
+    def test_self_speedup_includes_one(self, nol3):
+        mean, low, high = speedup_interval(nol3, nol3)
+        assert low <= 1.0 <= high

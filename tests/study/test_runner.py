@@ -1,0 +1,96 @@
+"""Integration tests for the LLC study runner (reduced-size runs)."""
+
+import pytest
+
+from repro.study.runner import run_one, run_study
+from repro.workloads.npb import CG_C, FT_B, UA_C
+
+INSTR = 30_000  # small but long enough to warm the scaled caches
+
+
+@pytest.fixture(scope="module")
+def ft_nol3():
+    return run_one(FT_B.with_instructions(INSTR), "nol3")
+
+
+@pytest.fixture(scope="module")
+def ft_lp():
+    return run_one(FT_B.with_instructions(INSTR), "lp_dram_ed")
+
+
+class TestRunOne:
+    def test_basic_results(self, ft_nol3):
+        assert ft_nol3.ipc > 0
+        assert ft_nol3.stats.average_read_latency > 0
+        assert ft_nol3.power.total > 0
+        assert ft_nol3.system.core == pytest.approx(22.3, rel=0.1)
+
+    def test_l3_improves_cache_friendly_app(self, ft_nol3, ft_lp):
+        """ft.B's working set fits the L3: IPC must rise (Figure 4a)."""
+        assert ft_lp.ipc > ft_nol3.ipc * 1.2
+
+    def test_l3_cuts_memory_traffic(self, ft_nol3, ft_lp):
+        assert (
+            ft_lp.stats.counters.mem_reads
+            < ft_nol3.stats.counters.mem_reads
+        )
+
+    def test_breakdown_accounts_for_stalls(self, ft_nol3):
+        b = ft_nol3.stats.breakdown
+        assert b.memory > 0
+        assert b.instruction > 0
+        assert b.l3 == 0  # no L3 in this configuration
+
+    def test_power_has_no_l3_terms_without_l3(self, ft_nol3):
+        assert ft_nol3.power.l3_leak == 0
+        assert ft_nol3.power.crossbar_dyn == 0
+
+    def test_lp_config_has_l3_and_refresh_power(self, ft_lp):
+        assert ft_lp.power.l3_leak > 0
+        assert ft_lp.power.l3_refresh > 0
+        assert ft_lp.stats.breakdown.l3 > 0
+
+
+class TestRunStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_study(
+            profiles=(FT_B, CG_C),
+            configs=("nol3", "sram", "cm_dram_c"),
+            instructions_per_thread=INSTR,
+        )
+
+    def test_matrix_complete(self, study):
+        assert set(study.results) == {
+            (a, c) for a in ("ft.B", "cg.C")
+            for c in ("nol3", "sram", "cm_dram_c")
+        }
+
+    def test_normalization_baseline_is_one(self, study):
+        assert study.normalized_cycles("ft.B", "nol3") == pytest.approx(1.0)
+        assert study.normalized_energy_delay(
+            "cg.C", "nol3") == pytest.approx(1.0)
+
+    def test_ft_gets_faster_cg_does_not(self, study):
+        """The paper's application grouping in miniature."""
+        ft_gain = 1 - study.normalized_cycles("ft.B", "cm_dram_c")
+        cg_gain = 1 - study.normalized_cycles("cg.C", "cm_dram_c")
+        assert ft_gain > 0.25
+        assert cg_gain < ft_gain
+
+    def test_sram_l3_raises_hierarchy_power(self, study):
+        """Figure 5a: the SRAM L3's leakage raises hierarchy power."""
+        assert study.mean_hierarchy_power_increase("sram") > 0.1
+
+    def test_comm_l3_power_increase_small(self, study):
+        sram = study.mean_hierarchy_power_increase("sram")
+        comm = study.mean_hierarchy_power_increase("cm_dram_c")
+        assert comm < sram / 2
+
+    def test_insensitive_app_flat(self):
+        result = run_study(
+            profiles=(UA_C,),
+            configs=("nol3", "cm_dram_c"),
+            instructions_per_thread=INSTR,
+        )
+        assert abs(1 - result.normalized_cycles("ua.C", "cm_dram_c")) < 0.35

@@ -1,0 +1,106 @@
+"""Tests for the Table 3 configuration machinery."""
+
+import pytest
+
+from repro.study.table3 import (
+    CONFIG_NAMES,
+    build_energy_model,
+    build_system_config,
+    paper_table3,
+    solve_l1,
+    solve_l2,
+    solve_l3,
+)
+
+
+class TestPaperTable:
+    def test_all_columns_present(self):
+        rows = paper_table3()
+        assert set(rows) == {
+            "L1", "L2", "sram", "lp_dram_ed", "lp_dram_c", "cm_dram_ed",
+            "cm_dram_c", "main",
+        }
+
+    def test_paper_values_spotcheck(self):
+        rows = paper_table3()
+        assert rows["sram"].leakage_w == pytest.approx(3.6)
+        assert rows["cm_dram_c"].access_cycles == 21
+        assert rows["main"].access_cycles == 61
+
+
+class TestSolvedTable:
+    """The live CACTI-D solves must land in the paper's bands."""
+
+    def test_l1_l2_cycles(self):
+        assert solve_l1().access_cycles <= 3
+        assert solve_l2().access_cycles <= 4
+
+    def test_sram_l3(self):
+        row = solve_l3("sram")
+        paper = paper_table3()["sram"]
+        assert row.access_cycles <= paper.access_cycles + 2
+        assert row.leakage_w == pytest.approx(paper.leakage_w, rel=0.5)
+        assert row.e_read_nj == pytest.approx(paper.e_read_nj, rel=0.5)
+
+    def test_lp_dram_leakage_below_sram(self):
+        assert solve_l3("lp_dram_ed").leakage_w < solve_l3("sram").leakage_w
+
+    def test_comm_dram_leakage_negligible(self):
+        """Paper Table 3: 15-26 mW vs the SRAM L3's 3.6 W."""
+        assert solve_l3("cm_dram_c").leakage_w < 0.2
+        assert solve_l3("cm_dram_ed").leakage_w < 0.2
+
+    def test_lp_refresh_exceeds_comm_refresh(self):
+        """0.12 ms vs 64 ms retention (paper Table 1 -> Table 3)."""
+        assert solve_l3("lp_dram_ed").refresh_w > solve_l3(
+            "cm_dram_ed").refresh_w * 10
+
+    def test_comm_slower_than_lp(self):
+        assert (
+            solve_l3("cm_dram_c").access_cycles
+            > solve_l3("lp_dram_c").access_cycles
+        )
+
+    def test_bank_area_within_budget_band(self):
+        """Per-bank area must sit near the 6.2 mm^2 stack budget."""
+        for name in ("sram", "lp_dram_c", "cm_dram_c"):
+            assert solve_l3(name).area_mm2 < 6.2 * 1.3
+
+
+class TestSystemConfigs:
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_build_all(self, name):
+        cfg = build_system_config(name, source="paper", scale=16)
+        assert cfg.num_threads == 32
+        if name == "nol3":
+            assert cfg.l3 is None
+        else:
+            assert cfg.l3 is not None
+            assert cfg.l3.capacity_bytes > 0
+
+    def test_scaling_shrinks_caches(self):
+        small = build_system_config("sram", scale=16)
+        big = build_system_config("sram", scale=1)
+        assert small.l3.capacity_bytes * 16 == big.l3.capacity_bytes
+
+    def test_l3_capacity_ordering_preserved(self):
+        caps = [
+            build_system_config(n, scale=16).l3.capacity_bytes
+            for n in CONFIG_NAMES[1:]
+        ]
+        assert caps == sorted(caps)
+
+
+class TestEnergyModels:
+    def test_nol3_has_no_l3(self):
+        assert build_energy_model("nol3").l3 is None
+
+    def test_sram_l3_leakiest(self):
+        sram = build_energy_model("sram").l3
+        comm = build_energy_model("cm_dram_c").l3
+        assert sram.p_leakage > 20 * comm.p_leakage
+
+    def test_memory_chip_energies_positive(self):
+        m = build_energy_model("nol3").memory
+        assert m.e_activate > 0 and m.e_read > 0
+        assert m.num_chips == 16

@@ -1,0 +1,133 @@
+"""Unit tests for the ITRS device models."""
+
+import math
+
+import pytest
+
+from repro.tech.devices import (
+    DEVICE_TYPES,
+    NODES_NM,
+    TEMPERATURE_LEAKAGE_FACTOR,
+    device,
+    interpolate_devices,
+)
+
+
+class TestDeviceData:
+    @pytest.mark.parametrize("dtype", DEVICE_TYPES)
+    @pytest.mark.parametrize("node", NODES_NM)
+    def test_all_parameters_positive(self, dtype, node):
+        d = device(dtype, node)
+        for field in ("vdd", "vth", "l_phy", "t_ox", "c_gate", "c_drain",
+                      "i_on", "i_off", "r_eff"):
+            assert getattr(d, field) > 0.0, field
+
+    def test_hp_fo4_matches_itrs_trend(self):
+        """HP CV/I improves 17%/yr => ~0.69x per two-year node step."""
+        fo4s = [device("hp", n).fo4 for n in sorted(NODES_NM, reverse=True)]
+        for slower, faster in zip(fo4s, fo4s[1:]):
+            ratio = faster / slower
+            assert 0.6 < ratio < 0.8
+
+    def test_hp_fo4_anchor_90nm(self):
+        assert device("hp", 90).fo4 == pytest.approx(32e-12, rel=0.01)
+
+    @pytest.mark.parametrize("node", NODES_NM)
+    def test_device_speed_ordering(self, node):
+        """HP fastest, then long-channel HP, then LOP, then LSTP."""
+        hp = device("hp", node).fo4
+        hpl = device("hp-long-channel", node).fo4
+        lop = device("lop", node).fo4
+        lstp = device("lstp", node).fo4
+        assert hp < hpl < lop < lstp
+
+    @pytest.mark.parametrize("node", NODES_NM)
+    def test_leakage_ordering(self, node):
+        """LSTP leaks orders of magnitude less than HP."""
+        hp = device("hp", node)
+        lstp = device("lstp", node)
+        hpl = device("hp-long-channel", node)
+        assert lstp.i_off < hp.i_off / 1000
+        assert hpl.i_off == pytest.approx(hp.i_off * 0.1, rel=0.01)
+
+    def test_lstp_leakage_constant_across_nodes(self):
+        """The ITRS LSTP target holds leakage at 10 pA/um at every node."""
+        values = {device("lstp", n).i_off for n in NODES_NM}
+        assert len(values) == 1
+        assert values.pop() == pytest.approx(1e-5)
+
+    def test_lstp_gate_length_lags_hp(self):
+        for node in NODES_NM:
+            assert device("lstp", node).l_phy > device("hp", node).l_phy
+
+    @pytest.mark.parametrize("node", NODES_NM)
+    def test_vdd_ordering(self, node):
+        """LOP uses the lowest supply; LSTP the highest (or ties HP)."""
+        hp = device("hp", node)
+        lop = device("lop", node)
+        lstp = device("lstp", node)
+        assert lop.vdd < hp.vdd
+        assert lstp.vdd >= hp.vdd
+
+    def test_vdd_at_32nm_matches_table1(self):
+        """Paper Table 1: SRAM cell VDD 0.9 V (HP), DRAM periphery 1.0 V."""
+        assert device("hp", 32).vdd == pytest.approx(0.9)
+        assert device("lstp", 32).vdd == pytest.approx(1.0)
+
+    def test_unknown_device_type_raises(self):
+        with pytest.raises(ValueError, match="unknown device type"):
+            device("fast", 32)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ValueError, match="unknown ITRS node"):
+            device("hp", 40)
+
+
+class TestDerivedQuantities:
+    def test_fo4_consistent_with_r_eff_calibration(self):
+        d = device("hp", 32)
+        expected = (
+            math.log(2.0)
+            * d.r_eff
+            * (1 + d.n_to_p_ratio)
+            * (d.c_drain + 4 * d.c_gate)
+        )
+        assert d.fo4 == pytest.approx(expected)
+
+    def test_leakage_power_scales_with_width(self):
+        d = device("hp", 32)
+        assert d.leakage_power(2e-6) == pytest.approx(2 * d.leakage_power(1e-6))
+
+    def test_leakage_power_includes_temperature_factor(self):
+        d = device("hp", 32)
+        cold = (d.i_off + d.i_gate / TEMPERATURE_LEAKAGE_FACTOR)
+        assert d.leakage_power(1e-6) > d.i_off * 1e-6 * d.vdd
+
+    def test_tau_positive_and_small(self):
+        for node in NODES_NM:
+            tau = device("hp", node).tau
+            assert 0 < tau < 50e-12
+
+
+class TestInterpolation:
+    def test_midpoint_between_nodes(self):
+        a, b = device("hp", 90), device("hp", 65)
+        mid = interpolate_devices(a, b, 0.5)
+        assert a.fo4 > mid.fo4 > b.fo4
+        assert a.l_phy > mid.l_phy > b.l_phy
+
+    def test_endpoints_exact(self):
+        a, b = device("lstp", 65), device("lstp", 45)
+        assert interpolate_devices(a, b, 0.0).r_eff == pytest.approx(a.r_eff)
+        assert interpolate_devices(a, b, 1.0).r_eff == pytest.approx(b.r_eff)
+
+    def test_mismatched_types_raise(self):
+        with pytest.raises(ValueError, match="cannot interpolate"):
+            interpolate_devices(device("hp", 90), device("lstp", 90), 0.5)
+
+    def test_geometric_interpolation_of_fo4(self):
+        """FO4 improves by a constant factor per node, so geometric
+        interpolation should reproduce the trend exactly."""
+        a, b = device("hp", 90), device("hp", 65)
+        mid = interpolate_devices(a, b, 0.5)
+        assert mid.fo4 == pytest.approx(math.sqrt(a.fo4 * b.fo4), rel=1e-6)

@@ -1,0 +1,50 @@
+"""Tests for the low-swing differential wire extension."""
+
+import pytest
+
+from repro.circuits.repeaters import optimal_repeated_wire
+from repro.tech.nodes import technology
+from repro.tech.wires import LowSwingWire, global_wire, low_swing_wire
+
+TECH = technology(32)
+VDD = TECH.device("hp").vdd
+
+
+class TestLowSwing:
+    def test_energy_saving_substantial(self):
+        ls = low_swing_wire(32, vdd=VDD)
+        assert ls.energy_saving_vs_full_swing(5e-3) > 0.5
+
+    def test_energy_linear_in_swing(self):
+        small = LowSwingWire(global_wire(32), swing=0.05, vdd=VDD)
+        large = LowSwingWire(global_wire(32), swing=0.2, vdd=VDD)
+        length = 3e-3
+        # Receiver energy is a fixed offset; the wire term scales 4x.
+        wire_small = small.energy(length) - small.RECEIVER_ENERGY
+        wire_large = large.energy(length) - large.RECEIVER_ENERGY
+        assert wire_large == pytest.approx(4 * wire_small, rel=0.01)
+
+    def test_delay_quadratic_in_length(self):
+        ls = low_swing_wire(32, vdd=VDD)
+        d1 = ls.delay(1e-3) - ls.RECEIVER_DELAY
+        d2 = ls.delay(2e-3) - ls.RECEIVER_DELAY
+        assert d2 == pytest.approx(4 * d1, rel=0.01)
+
+    def test_slower_than_repeated_wire_at_length(self):
+        """The classic tradeoff: low-swing wins energy, repeated wins
+        delay, increasingly so with distance."""
+        ls = low_swing_wire(32, vdd=VDD)
+        rep = optimal_repeated_wire(TECH.device("hp"), TECH.global_,
+                                    TECH.feature_size)
+        length = 8e-3
+        assert ls.delay(length) > rep.delay(length)
+        assert ls.energy(length) < rep.energy_per_m * length
+
+    def test_short_links_competitive(self):
+        """Below the crossover the unrepeated low-swing link is not much
+        slower than the repeated wire."""
+        ls = low_swing_wire(32, vdd=VDD)
+        rep = optimal_repeated_wire(TECH.device("hp"), TECH.global_,
+                                    TECH.feature_size)
+        length = 0.5e-3
+        assert ls.delay(length) < rep.delay(length) + 0.5e-9

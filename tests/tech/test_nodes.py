@@ -1,0 +1,56 @@
+"""Unit tests for the technology node registry and interpolation."""
+
+import pytest
+
+from repro.tech.cells import CellTech
+from repro.tech.nodes import technology
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("node", [90, 65, 45, 32])
+    def test_exact_nodes(self, node):
+        t = technology(node)
+        assert t.node_nm == node
+        assert t.feature_size == pytest.approx(node * 1e-9)
+        assert set(t.devices) == {"hp", "hp-long-channel", "lstp", "lop"}
+
+    def test_caching(self):
+        assert technology(32) is technology(32)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="outside modeled ITRS range"):
+            technology(22)
+        with pytest.raises(ValueError, match="outside modeled ITRS range"):
+            technology(130)
+
+    def test_unknown_device_lookup(self, tech32):
+        with pytest.raises(ValueError, match="unknown device type"):
+            tech32.device("turbo")
+
+
+class TestInterpolation:
+    def test_78nm_between_90_and_65(self):
+        t78 = technology(78)
+        for dtype in ("hp", "lstp"):
+            assert (
+                technology(65).device(dtype).fo4
+                < t78.device(dtype).fo4
+                < technology(90).device(dtype).fo4
+            )
+
+    def test_interpolated_wires(self):
+        assert technology(78).semi_global.pitch == pytest.approx(4 * 78e-9)
+
+    def test_float_exact_node(self):
+        assert technology(32.0).node_nm == 32.0
+
+
+class TestCellAndWireSelection:
+    def test_bitline_wire_tungsten_for_comm(self, tech32):
+        assert tech32.bitline_wire(CellTech.COMM_DRAM).name == "local-tungsten"
+        assert tech32.bitline_wire(CellTech.SRAM).name == "local"
+        assert tech32.bitline_wire(CellTech.LP_DRAM).name == "local"
+
+    def test_cell_builder_uses_periph_vdd(self, tech32):
+        c = tech32.cell(CellTech.SRAM, "hp-long-channel")
+        assert c.vdd_cell == pytest.approx(tech32.device("hp-long-channel").vdd)

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "ddr3_validation.py",
+    "design_space_sweep.py",
+]
+
+SLOW = [
+    "stacked_cache_explorer.py",
+    "sensitivity_analysis.py",
+    "powerdown_study.py",
+    ("llc_study.py", ["--fast"]),
+]
+
+
+def run_example(name, args=()):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("entry", SLOW, ids=lambda e: e[0] if isinstance(e, tuple) else e)
+def test_slow_examples(entry):
+    name, args = entry if isinstance(entry, tuple) else (entry, ())
+    result = run_example(name, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_example_inventory():
+    """Every example on disk is covered by this smoke test."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = set(FAST) | {
+        e[0] if isinstance(e, tuple) else e for e in SLOW
+    }
+    assert on_disk == covered

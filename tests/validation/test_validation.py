@@ -1,0 +1,125 @@
+"""Validation tests: the model must land in the paper's error bands."""
+
+import pytest
+
+from repro.validation.compare import (
+    percent_error,
+    validate_ddr3,
+    validate_sram_cache,
+)
+from repro.validation.targets import DDR3_TARGET, SPARC_L2, XEON_L3
+
+
+@pytest.fixture(scope="module")
+def ddr3():
+    return validate_ddr3()
+
+
+class TestDdr3Validation:
+    """Paper Table 2: CACTI-D achieved ~16 % mean |error|; this
+    reproduction must stay in the same quality band."""
+
+    def test_mean_error_band(self, ddr3):
+        assert ddr3.mean_abs_error < 0.30
+
+    def test_timing_errors_tight(self, ddr3):
+        for key in ("t_rcd", "t_cas", "t_rc"):
+            assert abs(ddr3.errors[key]) < 0.25, key
+
+    def test_area_efficiency_close(self, ddr3):
+        assert abs(ddr3.errors["area_efficiency"]) < 0.15
+
+    def test_energy_errors_match_paper_sign(self, ddr3):
+        """CACTI-D underestimated the Micron energies (Table 2); the same
+        systematic bias is expected here."""
+        assert ddr3.errors["e_activate"] < 0
+        assert ddr3.errors["e_read"] < 0
+        assert ddr3.errors["e_write"] < 0
+
+    def test_refresh_power_band(self, ddr3):
+        assert abs(ddr3.errors["p_refresh"]) < 0.5
+
+    def test_report_renders(self, ddr3):
+        text = ddr3.report()
+        assert "tRCD" in text and "Paper err" in text
+        assert "mean |error|" in text
+
+
+class TestSramValidation:
+    @pytest.fixture(scope="class")
+    def sparc(self):
+        return validate_sram_cache(SPARC_L2)
+
+    def test_solution_cloud_nonempty(self, sparc):
+        assert len(sparc.solutions) >= 4
+        assert len(sparc.target_bubbles) == 1
+
+    def test_solutions_span_tradeoffs(self, sparc):
+        times = [b.access_time for b in sparc.solutions]
+        assert max(times) > min(times)
+
+    def test_sparc_mean_error_band(self, sparc):
+        """The paper quotes ~20 % for the best-access-time solution."""
+        assert sparc.mean_abs_error() < 0.45
+
+    def test_area_within_band(self, sparc):
+        best = min(sparc.solutions, key=lambda b: b.access_time)
+        assert abs(percent_error(best.area, SPARC_L2.area)) < 0.35
+
+    @pytest.mark.slow
+    def test_xeon_runs(self):
+        from repro.core.config import OptimizationTarget
+
+        sweep = (
+            OptimizationTarget(max_area_fraction=0.3,
+                               max_acctime_fraction=0.05),
+            OptimizationTarget(max_area_fraction=0.6,
+                               max_acctime_fraction=0.3),
+        )
+        v = validate_sram_cache(XEON_L3, constraint_sweep=sweep)
+        assert v.mean_abs_error() < 0.8
+
+
+class TestTargets:
+    def test_ddr3_target_is_paper_table2(self):
+        assert DDR3_TARGET.t_rc == pytest.approx(52.5e-9)
+        assert DDR3_TARGET.e_activate == pytest.approx(3.1e-9)
+        assert DDR3_TARGET.area_efficiency == pytest.approx(0.56)
+
+    def test_paper_errors_encoded(self):
+        assert DDR3_TARGET.PAPER_ERRORS["e_write"] == pytest.approx(-0.33)
+
+    def test_percent_error(self):
+        assert percent_error(1.1, 1.0) == pytest.approx(0.1)
+        assert percent_error(0.9, 1.0) == pytest.approx(-0.1)
+
+
+class TestCrossNodeTrends:
+    """Commodity DRAM across nodes: the trends real parts exhibit."""
+
+    @pytest.fixture(scope="class")
+    def chips(self):
+        from repro.array.mainmem import MainMemorySpec
+        from repro.core.cacti import solve_main_memory
+
+        return {
+            node: solve_main_memory(
+                MainMemorySpec(capacity_bits=2**30), node_nm=node
+            )
+            for node in (90.0, 78.0, 65.0)
+        }
+
+    def test_trc_roughly_flat(self, chips):
+        """tRC barely improves with scaling (restore-dominated)."""
+        values = [c.timing.t_rc for c in chips.values()]
+        assert max(values) / min(values) < 1.4
+
+    def test_energy_improves_with_scaling(self, chips):
+        """Lower core VDD at newer nodes cuts activate energy."""
+        assert (
+            chips[65.0].energies.e_activate
+            < chips[90.0].energies.e_activate
+        )
+
+    def test_density_improves_with_scaling(self, chips):
+        assert chips[65.0].metrics.area < chips[90.0].metrics.area

@@ -1,0 +1,49 @@
+"""Tests for workload-profile JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.workloads.npb import FT_B, NPB_PROFILES
+from repro.workloads.profiles_io import (
+    load_profiles,
+    profile_from_dict,
+    profile_to_dict,
+    save_profiles,
+)
+
+
+class TestRoundTrip:
+    def test_single_profile(self):
+        assert profile_from_dict(profile_to_dict(FT_B)) == FT_B
+
+    def test_all_npb_profiles(self, tmp_path):
+        path = tmp_path / "npb.json"
+        save_profiles(list(NPB_PROFILES), path)
+        loaded = load_profiles(path)
+        assert tuple(loaded) == NPB_PROFILES
+
+    def test_single_object_file(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(profile_to_dict(FT_B)))
+        assert load_profiles(path) == [FT_B]
+
+
+class TestValidation:
+    def test_unknown_field_rejected(self):
+        data = profile_to_dict(FT_B)
+        data["working_set"] = 123
+        with pytest.raises(ValueError, match="unknown profile fields"):
+            profile_from_dict(data)
+
+    def test_profile_invariants_still_enforced(self):
+        data = profile_to_dict(FT_B)
+        data["p_hot"] = 0.9  # probabilities no longer sum to 1
+        with pytest.raises(ValueError, match="sum"):
+            profile_from_dict(data)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('"just a string"')
+        with pytest.raises(ValueError, match="expected a JSON"):
+            load_profiles(path)

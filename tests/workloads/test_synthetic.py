@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic workload generators."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.npb import BY_NAME, FT_B, NPB_PROFILES, UA_C
+from repro.workloads.synthetic import LINE_BYTES, WorkloadProfile, event_stream
+
+
+def drain(profile, tid=0, n_threads=32, seed=7):
+    return list(event_stream(profile, tid, n_threads, seed=seed))
+
+
+def small(profile, count=5000):
+    return profile.with_instructions(count)
+
+
+class TestProfiles:
+    def test_all_profiles_valid(self):
+        for p in NPB_PROFILES:
+            assert 0 <= p.fp_fraction <= 1
+            assert p.mem_per_instr > 0
+            assert p.cpi >= 1.0
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="sum"):
+            WorkloadProfile(
+                name="bad", instructions_per_thread=10, fp_fraction=0.5,
+                mem_per_instr=0.1, write_fraction=0.3, hot_bytes=1024,
+                warm_bytes=1024, cold_bytes=1024, p_hot=0.5, p_warm=0.2,
+                p_cold=0.5,
+            )
+
+    def test_scaling_shrinks_regions(self):
+        scaled = FT_B.scaled(16)
+        assert scaled.hot_bytes == FT_B.hot_bytes // 16
+        assert scaled.warm_bytes == FT_B.warm_bytes // 16
+        assert scaled.mem_per_instr == FT_B.mem_per_instr
+
+    def test_scaling_floors_tiny_regions(self):
+        scaled = FT_B.scaled(1 << 30)
+        assert scaled.hot_bytes >= LINE_BYTES * 8
+
+    def test_by_name_complete(self):
+        assert set(BY_NAME) == {
+            "bt.C", "cg.C", "ft.B", "is.C", "lu.C", "mg.B", "sp.C", "ua.C"
+        }
+
+
+class TestEventStream:
+    def test_instruction_budget_respected(self):
+        events = drain(small(FT_B))
+        instr = sum(e[1] for e in events if e[0] == "step")
+        assert instr >= 5000
+        assert instr < 5000 * 1.5
+
+    def test_deterministic_per_seed(self):
+        a = drain(small(FT_B), seed=42)
+        b = drain(small(FT_B), seed=42)
+        assert a == b
+
+    def test_different_threads_differ(self):
+        a = drain(small(FT_B), tid=0)
+        b = drain(small(FT_B), tid=1)
+        assert a != b
+
+    def test_event_shapes(self):
+        for event in itertools.islice(
+            event_stream(small(FT_B), 0, 32), 200
+        ):
+            kind = event[0]
+            assert kind in {"step", "barrier", "lock"}
+            if kind == "step":
+                __, n, cycles, address, is_write = event
+                assert n >= 1 and cycles >= n  # CPI >= 1
+                assert address % LINE_BYTES == 0
+                assert isinstance(is_write, bool)
+
+    def test_barriers_emitted(self):
+        events = drain(small(FT_B, 20000))
+        barriers = sum(1 for e in events if e[0] == "barrier")
+        assert barriers >= FT_B.barriers // 2
+
+    def test_locks_emitted_for_locky_profiles(self):
+        events = drain(small(UA_C, 50000))
+        assert any(e[0] == "lock" for e in events)
+
+    def test_write_fraction_approximate(self):
+        events = [e for e in drain(small(FT_B, 30000)) if e[0] == "step"]
+        frac = sum(1 for e in events if e[4]) / len(events)
+        assert abs(frac - FT_B.write_fraction) < 0.12
+
+    def test_addresses_stay_in_declared_regions(self):
+        profile = small(FT_B, 20000)
+        total_span = (1 << 43)
+        for e in drain(profile):
+            if e[0] == "step":
+                assert 0 < e[3] < total_span
+
+    def test_hot_region_private_per_thread(self):
+        """Thread-private hot regions must not overlap."""
+        def hot_addresses(tid):
+            return {
+                e[3] for e in drain(small(FT_B, 8000), tid=tid)
+                if e[0] == "step" and e[3] < (1 << 41)
+            }
+
+        assert not (hot_addresses(0) & hot_addresses(1))

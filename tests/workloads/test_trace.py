@@ -1,0 +1,98 @@
+"""Tests for trace capture and replay."""
+
+import pytest
+
+from repro.sim.cache import CacheConfig
+from repro.sim.dram_channel import MemoryTimingCycles
+from repro.sim.system import System, SystemConfig
+from repro.workloads.npb import FT_B
+from repro.workloads.synthetic import event_stream
+from repro.workloads.trace import (
+    TraceFormatError,
+    load_trace,
+    load_traces,
+    save_trace,
+    save_traces,
+)
+
+EVENTS = [
+    ("step", 10, 31.0, 0x1000, False),
+    ("compute", 5, 20.0),
+    ("mem", 0xDEAD40, True),
+    ("barrier",),
+    ("lock", 3, 50.0),
+]
+
+
+class TestRoundTrip:
+    def test_events_survive(self, tmp_path):
+        path = tmp_path / "t.trace"
+        assert save_trace(EVENTS, path) == len(EVENTS)
+        assert list(load_trace(path)) == EVENTS
+
+    def test_synthetic_stream_round_trips(self, tmp_path):
+        profile = FT_B.with_instructions(3000).scaled(16)
+        events = list(event_stream(profile, 0, 32))
+        path = tmp_path / "ft.trace"
+        save_trace(events, path)
+        assert list(load_trace(path)) == events
+
+    def test_multi_thread_layout(self, tmp_path):
+        streams = [list(EVENTS) for _ in range(4)]
+        counts = save_traces(streams, tmp_path / "traces")
+        assert counts == [len(EVENTS)] * 4
+        loaded = load_traces(tmp_path / "traces")
+        assert len(loaded) == 4
+        assert list(loaded[0]) == EVENTS
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_traces(tmp_path / "nothing")
+
+
+class TestFormat:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.trace"
+        path.write_text("# header\n\nB\n")
+        assert list(load_trace(path)) == [("barrier",)]
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("S 1\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            list(load_trace(path))
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("X 1 2\n")
+        with pytest.raises(TraceFormatError, match="unknown record"):
+            list(load_trace(path))
+
+    def test_unserializable_event(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            save_trace([("jump", 1)], tmp_path / "x.trace")
+
+
+class TestReplayEquivalence:
+    def test_simulation_identical_from_trace(self, tmp_path):
+        """Replaying a captured trace reproduces the live run exactly."""
+        profile = FT_B.with_instructions(2000).scaled(16)
+        config = SystemConfig(
+            name="replay",
+            l1=CacheConfig(1024, 64, 2, 2),
+            l2=CacheConfig(4096, 64, 4, 3),
+            l3=None,
+            memory=MemoryTimingCycles(30, 31, 28, 70, 98, 15, 5),
+            num_cores=2,
+            threads_per_core=2,
+        )
+        streams = [
+            list(event_stream(profile, tid, 4)) for tid in range(4)
+        ]
+        save_traces([list(s) for s in streams], tmp_path / "tr")
+
+        live = System(config).run([iter(s) for s in streams])
+        replay = System(config).run(load_traces(tmp_path / "tr"))
+        assert replay.cycles == live.cycles
+        assert replay.instructions == live.instructions
+        assert replay.counters.mem_reads == live.counters.mem_reads
