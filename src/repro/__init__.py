@@ -27,6 +27,8 @@ from repro.core import (
     NoFeasibleSolution,
     OptimizationTarget,
     Solution,
+    SolveCache,
+    SweepStats,
     solve,
     solve_main_memory,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "NoFeasibleSolution",
     "OptimizationTarget",
     "Solution",
+    "SolveCache",
+    "SweepStats",
     "solve",
     "solve_main_memory",
     "technology",

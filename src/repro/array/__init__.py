@@ -12,10 +12,14 @@ from repro.array.mat import Mat, mats_in_bank
 from repro.array.organization import (
     ArrayMetrics,
     ArraySpec,
+    EvalCache,
     InfeasibleOrganization,
+    OrgGeometry,
     OrgParams,
     build_organization,
+    derive_geometry,
     enumerate_orgs,
+    prefilter_org,
 )
 from repro.array.stacking import StackedBank, stacking_sweep
 from repro.array.subarray import InfeasibleSubarray, Subarray
@@ -23,9 +27,11 @@ from repro.array.subarray import InfeasibleSubarray, Subarray
 __all__ = [
     "ArrayMetrics",
     "ArraySpec",
+    "EvalCache",
     "HTree",
     "InfeasibleOrganization",
     "InfeasibleSubarray",
+    "OrgGeometry",
     "MainMemoryEnergies",
     "MainMemorySpec",
     "MainMemoryTiming",
@@ -35,9 +41,11 @@ __all__ = [
     "Subarray",
     "build_organization",
     "derive_energies",
+    "derive_geometry",
     "derive_timing",
     "design_htree",
     "enumerate_orgs",
     "mats_in_bank",
+    "prefilter_org",
     "stacking_sweep",
 ]

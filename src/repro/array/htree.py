@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.circuits.repeaters import RepeatedWireDesign, repeated_wire
 from repro.tech.devices import DeviceParams
@@ -32,23 +33,31 @@ class HTree:
     levels: int  #: number of branch levels (pipeline boundaries)
     device: DeviceParams | None = None  #: branch-buffer device
 
-    @property
+    # Trees are shared across many candidate organizations through the
+    # optimizer's EvalCache, so the derived quantities are cached: each is
+    # computed once per distinct tree instead of once per candidate.
+
+    @cached_property
     def buffer_delay(self) -> float:
         """Per-traverse delay of the branch/gating buffers (s)."""
         if self.device is None:
             return 0.0
         return self.levels * _BRANCH_BUFFER_FO4 * self.device.fo4
 
-    @property
+    @cached_property
     def delay(self) -> float:
         """Edge-to-mat (or mat-to-edge) latency (s)."""
         return self.design.delay(self.path_length) + self.buffer_delay
 
-    @property
+    @cached_property
     def occupancy(self) -> float:
         """Time one access occupies a tree segment (s); the pipelined pitch."""
         stages = max(self.levels, 1)
         return self.delay / stages
+
+    @cached_property
+    def _energy_per_wire(self) -> float:
+        return self.design.energy(self.path_length)
 
     def energy(self, bits_switched: int | None = None) -> float:
         """Dynamic energy of one transfer (J).
@@ -57,9 +66,9 @@ class HTree:
         so the switched length is the path length, not the total wire.
         """
         n = self.num_wires if bits_switched is None else bits_switched
-        return n * self.design.energy(self.path_length)
+        return n * self._energy_per_wire
 
-    @property
+    @cached_property
     def leakage(self) -> float:
         """Repeater leakage over the whole tree (W).
 
@@ -68,7 +77,7 @@ class HTree:
         """
         return self.num_wires * self.design.leakage(2.0 * self.path_length)
 
-    @property
+    @cached_property
     def wiring_area(self) -> float:
         """Metal footprint of the tree (m^2), for area overhead accounting."""
         return (

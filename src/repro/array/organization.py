@@ -60,6 +60,17 @@ class InfeasibleOrganization(ValueError):
 
 
 @dataclass(frozen=True)
+class OrgGeometry:
+    """Structural facts derivable from (spec, org) by arithmetic alone."""
+
+    rows: int  #: rows per subarray
+    cols: int  #: columns per subarray
+    nact: int  #: subarrays activated per access
+    sensed_bits: int  #: bitline pairs sensed per access
+    sense_amps_per_sub: int  #: sense amplifiers per subarray
+
+
+@dataclass(frozen=True)
 class OrgParams:
     """One point in the partitioning space."""
 
@@ -165,95 +176,206 @@ class ArrayMetrics:
         return self.e_activate + self.e_write_column + self.e_precharge
 
 
+def derive_geometry(spec: ArraySpec, org: OrgParams) -> OrgGeometry:
+    """Derive the subarray geometry of ``(spec, org)`` from arithmetic alone.
+
+    Performs every structural feasibility check that does not require a
+    technology object -- integral rows/cols, row/col ranges, the DRAM
+    bitline sensing limit, mux divisibility, active-subarray and
+    way-select counts, and page-size matching -- and raises
+    :class:`InfeasibleOrganization` on the first violation.  This is the
+    optimizer's cheap pre-filter: the vast majority of candidate tuples
+    are rejected here without building any circuit objects.
+    """
+    is_dram = spec.cell_tech.is_dram
+    if is_dram and org.ndcm != 1:
+        raise InfeasibleOrganization(
+            "DRAM senses every bitline; column muxing before the sense "
+            "amps (ndcm > 1) is not possible"
+        )
+    rows_f = spec.sets_per_bank / (org.ndbl * org.nspd)
+    cols_f = spec.output_bits * spec.assoc * org.nspd / org.ndwl
+    if rows_f != int(rows_f) or cols_f != int(cols_f):
+        raise InfeasibleOrganization(
+            f"non-integral subarray ({rows_f} x {cols_f})"
+        )
+    rows, cols = int(rows_f), int(cols_f)
+    if not MIN_ROWS <= rows <= MAX_ROWS:
+        raise InfeasibleOrganization(f"rows {rows} out of range")
+    if is_dram and rows > MAX_DRAM_ROWS:
+        raise InfeasibleOrganization(
+            f"{rows} cells per DRAM bitline exceeds the "
+            f"{MAX_DRAM_ROWS}-cell sensing limit"
+        )
+    if not MIN_COLS <= cols <= MAX_COLS:
+        raise InfeasibleOrganization(f"cols {cols} out of range")
+    if cols % (org.ndcm * org.ndsam):
+        raise InfeasibleOrganization("mux degrees must divide columns")
+
+    # Output bits produced by one activated subarray.  Non-power-of-two
+    # associativities leave the last active subarray partially used, so
+    # the count rounds up rather than requiring exact tiling.
+    out_per_sub = cols // (org.ndcm * org.ndsam)
+    if out_per_sub == 0:
+        raise InfeasibleOrganization("mux degree consumes all columns")
+    nact = math.ceil(spec.output_bits / out_per_sub)
+    if nact > org.ndwl:
+        raise InfeasibleOrganization(
+            f"access needs {nact} active subarrays, bank has "
+            f"{org.ndwl} per row"
+        )
+    # A set-associative array must be able to mux down to one way.
+    if spec.assoc > 1 and org.ndcm * org.ndsam < spec.assoc:
+        raise InfeasibleOrganization(
+            "mux degree cannot select one way out of the set"
+        )
+
+    sensed_per_sub = cols if is_dram else cols // org.ndcm
+    sensed_bits = nact * sensed_per_sub
+
+    if spec.page_bits is not None:
+        if not is_dram:
+            raise InfeasibleOrganization("page size applies to DRAM only")
+        if sensed_bits != spec.page_bits:
+            raise InfeasibleOrganization(
+                f"activation senses {sensed_bits} bits, page is "
+                f"{spec.page_bits}"
+            )
+
+    return OrgGeometry(
+        rows=rows,
+        cols=cols,
+        nact=nact,
+        sensed_bits=sensed_bits,
+        sense_amps_per_sub=sensed_per_sub,
+    )
+
+
+def prefilter_org(spec: ArraySpec, org: OrgParams) -> OrgGeometry | None:
+    """Cheap structural feasibility check: geometry, or None if infeasible.
+
+    Candidates rejected here would also be rejected by
+    :func:`build_organization`; passing is necessary but not sufficient
+    (electrical checks such as the DRAM sense-signal margin still run at
+    build time).
+    """
+    try:
+        return derive_geometry(spec, org)
+    except InfeasibleOrganization:
+        return None
+
+
+class EvalCache:
+    """Cross-candidate memoization for one technology node.
+
+    Many partitioning tuples share the same ``(rows, cols)`` subarray and
+    the same H-tree design inputs; caching those designs makes the sweep
+    cost proportional to the number of *distinct* circuit problems rather
+    than the number of candidates.  Safe to share across every solve at
+    one node (keys carry cell technology, periphery, and node); results
+    are bit-identical to uncached construction because the same frozen
+    objects perform the same computations.
+    """
+
+    def __init__(self) -> None:
+        self._subarrays: dict[tuple, Subarray] = {}
+        self._htrees: dict[tuple, HTree] = {}
+        self.subarray_hits = 0
+        self.subarray_misses = 0
+        self.htree_hits = 0
+        self.htree_misses = 0
+
+    def subarray(
+        self, tech: Technology, spec: ArraySpec, rows: int, cols: int
+    ) -> Subarray:
+        key = (
+            rows,
+            cols,
+            spec.cell_tech,
+            spec.periph_device_type,
+            tech.node_nm,
+        )
+        sub = self._subarrays.get(key)
+        if sub is not None:
+            self.subarray_hits += 1
+            return sub
+        self.subarray_misses += 1
+        sub = Subarray(
+            tech=tech,
+            cell=tech.cell(spec.cell_tech, spec.periph_device_type),
+            periph=tech.device(spec.periph_device_type),
+            rows=rows,
+            cols=cols,
+        )
+        self._subarrays[key] = sub
+        return sub
+
+    def htree(self, key: tuple, build) -> HTree:
+        tree = self._htrees.get(key)
+        if tree is not None:
+            self.htree_hits += 1
+            return tree
+        self.htree_misses += 1
+        tree = build()
+        self._htrees[key] = tree
+        return tree
+
+
 def build_organization(
-    tech: Technology, spec: ArraySpec, org: OrgParams
+    tech: Technology,
+    spec: ArraySpec,
+    org: OrgParams,
+    cache: EvalCache | None = None,
+    geometry: OrgGeometry | None = None,
 ) -> ArrayMetrics:
-    """Evaluate one partitioning tuple; raises InfeasibleOrganization."""
-    return _Builder(tech, spec, org).metrics()
+    """Evaluate one partitioning tuple; raises InfeasibleOrganization.
+
+    ``cache`` enables cross-candidate reuse of subarray and H-tree
+    designs; ``geometry`` skips re-deriving a pre-filtered geometry.
+    Both are optional and change nothing about the returned numbers.
+    """
+    return _Builder(tech, spec, org, cache=cache, geometry=geometry).metrics()
 
 
 class _Builder:
     """Derives and composes all metrics for one design point."""
 
-    def __init__(self, tech: Technology, spec: ArraySpec, org: OrgParams):
+    def __init__(
+        self,
+        tech: Technology,
+        spec: ArraySpec,
+        org: OrgParams,
+        cache: EvalCache | None = None,
+        geometry: OrgGeometry | None = None,
+    ):
         self.tech = tech
         self.spec = spec
         self.org = org
+        self.cache = cache
         self.periph = tech.device(spec.periph_device_type)
         self.cell = tech.cell(spec.cell_tech, spec.periph_device_type)
         self.is_dram = self.cell.is_dram
-        if self.is_dram and org.ndcm != 1:
-            raise InfeasibleOrganization(
-                "DRAM senses every bitline; column muxing before the sense "
-                "amps (ndcm > 1) is not possible"
+        if geometry is None:
+            geometry = derive_geometry(spec, org)
+        self.rows = geometry.rows
+        self.cols = geometry.cols
+        self.nact = geometry.nact
+        self.sensed_bits = geometry.sensed_bits
+        self.sense_amps_per_sub = geometry.sense_amps_per_sub
+
+        if cache is not None:
+            self.subarray = cache.subarray(tech, spec, self.rows, self.cols)
+        else:
+            self.subarray = Subarray(
+                tech=self.tech,
+                cell=self.cell,
+                periph=self.periph,
+                rows=self.rows,
+                cols=self.cols,
             )
-        self._derive_geometry()
-
-    # ------------------------------------------------------------------ #
-
-    def _derive_geometry(self) -> None:
-        spec, org = self.spec, self.org
-        rows_f = spec.sets_per_bank / (org.ndbl * org.nspd)
-        cols_f = spec.output_bits * spec.assoc * org.nspd / org.ndwl
-        if rows_f != int(rows_f) or cols_f != int(cols_f):
-            raise InfeasibleOrganization(
-                f"non-integral subarray ({rows_f} x {cols_f})"
-            )
-        self.rows, self.cols = int(rows_f), int(cols_f)
-        if not MIN_ROWS <= self.rows <= MAX_ROWS:
-            raise InfeasibleOrganization(f"rows {self.rows} out of range")
-        if self.is_dram and self.rows > MAX_DRAM_ROWS:
-            raise InfeasibleOrganization(
-                f"{self.rows} cells per DRAM bitline exceeds the "
-                f"{MAX_DRAM_ROWS}-cell sensing limit"
-            )
-        if not MIN_COLS <= self.cols <= MAX_COLS:
-            raise InfeasibleOrganization(f"cols {self.cols} out of range")
-        if self.cols % (org.ndcm * org.ndsam):
-            raise InfeasibleOrganization("mux degrees must divide columns")
-
-        # Output bits produced by one activated subarray.  Non-power-of-two
-        # associativities leave the last active subarray partially used, so
-        # the count rounds up rather than requiring exact tiling.
-        out_per_sub = self.cols // (org.ndcm * org.ndsam)
-        if out_per_sub == 0:
-            raise InfeasibleOrganization("mux degree consumes all columns")
-        self.nact = math.ceil(spec.output_bits / out_per_sub)
-        if self.nact > org.ndwl:
-            raise InfeasibleOrganization(
-                f"access needs {self.nact} active subarrays, bank has "
-                f"{org.ndwl} per row"
-            )
-        # A set-associative array must be able to mux down to one way.
-        if spec.assoc > 1 and org.ndcm * org.ndsam < spec.assoc:
-            raise InfeasibleOrganization(
-                "mux degree cannot select one way out of the set"
-            )
-
-        sensed_per_sub = self.cols if self.is_dram else self.cols // org.ndcm
-        self.sensed_bits = self.nact * sensed_per_sub
-        self.sense_amps_per_sub = sensed_per_sub
-
-        if spec.page_bits is not None:
-            if not self.is_dram:
-                raise InfeasibleOrganization("page size applies to DRAM only")
-            if self.sensed_bits != spec.page_bits:
-                raise InfeasibleOrganization(
-                    f"activation senses {self.sensed_bits} bits, page is "
-                    f"{spec.page_bits}"
-                )
-
-        self.subarray = Subarray(
-            tech=self.tech,
-            cell=self.cell,
-            periph=self.periph,
-            rows=self.rows,
-            cols=self.cols,
-        )
         self.subarray.check_dram_feasible()
 
-        org_mats = mats_in_bank(org.ndwl, org.ndbl)
-        self.num_mats = org_mats
+        self.num_mats = mats_in_bank(org.ndwl, org.ndbl)
         self.bank_width = org.ndwl * self.subarray.width
         self.bank_height = org.ndbl * self.subarray.height
 
@@ -268,34 +390,41 @@ class _Builder:
             return self.tech.semi_global
         return self.tech.global_
 
+    def _design_htree(self, num_wires: int) -> HTree:
+        build = lambda: design_htree(  # noqa: E731
+            self.tech,
+            self.periph,
+            self.bank_width,
+            self.bank_height,
+            num_wires=num_wires,
+            num_mats=self.num_mats,
+            max_repeater_delay_penalty=self.spec.max_repeater_delay_penalty,
+            wire=self._htree_wire,
+        )
+        if self.cache is None:
+            return build()
+        key = (
+            num_wires,
+            self.num_mats,
+            self.bank_width,
+            self.bank_height,
+            self.spec.max_repeater_delay_penalty,
+            self._htree_wire.name,
+            self.spec.periph_device_type,
+            self.tech.node_nm,
+        )
+        return self.cache.htree(key, build)
+
     @cached_property
     def htree_in(self) -> HTree:
         # Global circuitry uses the same device family as the periphery
         # (paper Table 1: long-channel HP for SRAM/LP-DRAM, LSTP for
         # COMM-DRAM).
-        return design_htree(
-            self.tech,
-            self.periph,
-            self.bank_width,
-            self.bank_height,
-            num_wires=self.spec.address_bits + _CONTROL_WIRES,
-            num_mats=self.num_mats,
-            max_repeater_delay_penalty=self.spec.max_repeater_delay_penalty,
-            wire=self._htree_wire,
-        )
+        return self._design_htree(self.spec.address_bits + _CONTROL_WIRES)
 
     @cached_property
     def htree_out(self) -> HTree:
-        return design_htree(
-            self.tech,
-            self.periph,
-            self.bank_width,
-            self.bank_height,
-            num_wires=self.spec.output_bits,
-            num_mats=self.num_mats,
-            max_repeater_delay_penalty=self.spec.max_repeater_delay_penalty,
-            wire=self._htree_wire,
-        )
+        return self._design_htree(self.spec.output_bits)
 
     # ------------------------------------------------------------------ #
 
@@ -424,20 +553,18 @@ class _Builder:
         )
 
 
-def enumerate_orgs(
+def _org_grid(
     spec: ArraySpec,
     max_ndwl: int = 64,
     max_ndbl: int = 64,
     nspd_values: tuple[float, ...] | None = None,
     max_mux: int | None = None,
-) -> list[OrgParams]:
-    """All structurally plausible partitioning tuples for ``spec``.
+) -> tuple[tuple, tuple, tuple, tuple, tuple]:
+    """The (ndwl, ndbl, nspd, ndcm, ndsam) axes of the candidate grid.
 
-    Infeasible tuples are cheap to reject later; this pre-filter only
-    enforces the power-of-two structure and mux applicability.  Wide-page
-    main-memory parts (page_bits set) need far more row widening (nspd)
-    and output muxing than caches, because a whole page is sensed but only
-    a few dozen bits leave the chip per column access.
+    Wide-page main-memory parts (page_bits set) need far more row
+    widening (nspd) and output muxing than caches, because a whole page
+    is sensed but only a few dozen bits leave the chip per column access.
     """
     is_dram = spec.cell_tech.is_dram
     if nspd_values is None:
@@ -455,16 +582,124 @@ def enumerate_orgs(
         if spec.page_bits is not None:
             max_mux = max(64, spec.page_bits // spec.output_bits * 2)
     ndcms = (1,) if is_dram else _powers_up_to(max_mux)
+    return (
+        _powers_up_to(max_ndwl),
+        _powers_up_to(max_ndbl),
+        tuple(nspd_values),
+        ndcms,
+        _powers_up_to(max_mux),
+    )
+
+
+def org_grid_size(
+    spec: ArraySpec,
+    max_ndwl: int = 64,
+    max_ndbl: int = 64,
+    nspd_values: tuple[float, ...] | None = None,
+    max_mux: int | None = None,
+) -> int:
+    """Number of candidate tuples :func:`enumerate_orgs` would produce."""
+    size = 1
+    for axis in _org_grid(spec, max_ndwl, max_ndbl, nspd_values, max_mux):
+        size *= len(axis)
+    return size
+
+
+def enumerate_orgs(
+    spec: ArraySpec,
+    max_ndwl: int = 64,
+    max_ndbl: int = 64,
+    nspd_values: tuple[float, ...] | None = None,
+    max_mux: int | None = None,
+) -> list[OrgParams]:
+    """All structurally plausible partitioning tuples for ``spec``.
+
+    Infeasible tuples are cheap to reject later; this enumeration only
+    enforces the power-of-two structure and mux applicability.  Prefer
+    :func:`enumerate_feasible_orgs` for sweeps: it fuses the structural
+    pre-filter into the loop nest.
+    """
+    ndwls, ndbls, nspds, ndcms, ndsams = _org_grid(
+        spec, max_ndwl, max_ndbl, nspd_values, max_mux
+    )
     candidates = []
-    for ndwl in _powers_up_to(max_ndwl):
-        for ndbl in _powers_up_to(max_ndbl):
-            for nspd in nspd_values:
+    for ndwl in ndwls:
+        for ndbl in ndbls:
+            for nspd in nspds:
                 for ndcm in ndcms:
-                    for ndsam in _powers_up_to(max_mux):
+                    for ndsam in ndsams:
                         candidates.append(
                             OrgParams(ndwl, ndbl, nspd, ndcm, ndsam)
                         )
     return candidates
+
+
+def enumerate_feasible_orgs(
+    spec: ArraySpec,
+    max_ndwl: int = 64,
+    max_ndbl: int = 64,
+    nspd_values: tuple[float, ...] | None = None,
+    max_mux: int | None = None,
+):
+    """Yield ``(OrgParams, OrgGeometry)`` for structurally feasible tuples.
+
+    Exactly equivalent to filtering :func:`enumerate_orgs` through
+    :func:`prefilter_org` -- same candidates, same order (which matters:
+    ranking ties break by enumeration order) -- but the row/column checks
+    are hoisted out of the mux loops and :class:`OrgParams` objects are
+    only built for survivors, so the whole grid scan costs a few
+    milliseconds.  The feasibility expressions mirror
+    :func:`derive_geometry` line for line.
+    """
+    ndwls, ndbls, nspds, ndcms, ndsams = _org_grid(
+        spec, max_ndwl, max_ndbl, nspd_values, max_mux
+    )
+    is_dram = spec.cell_tech.is_dram
+    sets_per_bank = spec.sets_per_bank
+    row_bits = spec.output_bits * spec.assoc
+    for ndwl in ndwls:
+        for ndbl in ndbls:
+            for nspd in nspds:
+                rows_f = sets_per_bank / (ndbl * nspd)
+                cols_f = row_bits * nspd / ndwl
+                if rows_f != int(rows_f) or cols_f != int(cols_f):
+                    continue
+                rows, cols = int(rows_f), int(cols_f)
+                if not MIN_ROWS <= rows <= MAX_ROWS:
+                    continue
+                if is_dram and rows > MAX_DRAM_ROWS:
+                    continue
+                if not MIN_COLS <= cols <= MAX_COLS:
+                    continue
+                for ndcm in ndcms:
+                    for ndsam in ndsams:
+                        mux = ndcm * ndsam
+                        if cols % mux:
+                            continue
+                        out_per_sub = cols // mux
+                        if out_per_sub == 0:
+                            continue
+                        nact = math.ceil(spec.output_bits / out_per_sub)
+                        if nact > ndwl:
+                            continue
+                        if spec.assoc > 1 and mux < spec.assoc:
+                            continue
+                        sensed_per_sub = cols if is_dram else cols // ndcm
+                        sensed_bits = nact * sensed_per_sub
+                        if spec.page_bits is not None and (
+                            not is_dram or sensed_bits != spec.page_bits
+                        ):
+                            continue
+                        yield (
+                            OrgParams(ndwl, ndbl, nspd, ndcm, ndsam),
+                            OrgGeometry(
+                                rows=rows,
+                                cols=cols,
+                                nact=nact,
+                                sensed_bits=sensed_bits,
+                                sense_amps_per_sub=sensed_per_sub,
+                            ),
+                        )
 
 
 def _powers_up_to(limit: int) -> tuple[int, ...]:

@@ -102,6 +102,13 @@ def optimal_repeated_wire(
     return _evaluate(device, wire, width, spacing, feature_size)
 
 
+#: Memo table for :func:`repeated_wire`.  The function is pure and its
+#: arguments are frozen dataclasses and floats, so designs are shared
+#: across every candidate organization (and every solve in the process)
+#: that asks for the same (device, wire, node, penalty) combination.
+_WIRE_CACHE: dict[tuple, RepeatedWireDesign] = {}
+
+
 def repeated_wire(
     device: DeviceParams,
     wire: WireParams,
@@ -114,6 +121,23 @@ def repeated_wire(
     the best-delay repeater solution) -- the paper's
     ``max_repeater_delay_constraint`` internal variable.
     """
+    key = (device, wire, feature_size, max_delay_penalty)
+    cached = _WIRE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    design = _design_repeated_wire(
+        device, wire, feature_size, max_delay_penalty
+    )
+    _WIRE_CACHE[key] = design
+    return design
+
+
+def _design_repeated_wire(
+    device: DeviceParams,
+    wire: WireParams,
+    feature_size: float,
+    max_delay_penalty: float,
+) -> RepeatedWireDesign:
     best = optimal_repeated_wire(device, wire, feature_size)
     if max_delay_penalty <= 0.0:
         return best

@@ -24,6 +24,8 @@ from repro.core.config import (
     MemorySpec,
     OptimizationTarget,
 )
+from repro.core.optimizer import NoFeasibleSolution, SweepStats
+from repro.core.solvecache import SolveCache
 from repro.tech.cells import CellTech
 
 _PRESETS = {
@@ -34,14 +36,34 @@ _PRESETS = {
 
 
 def parse_size(text: str) -> int:
-    """Parse '32K', '2M', '1G' (powers of two) or a raw integer."""
+    """Parse '32K', '2M', '1G' (powers of two) or a raw integer.
+
+    Sizes must be positive: a zero or negative capacity would only
+    surface later as a confusing arithmetic error deep in the solver.
+    """
     text = text.strip().upper()
     multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
     if text and text[-1] in multipliers:
         if text[-1] == text:
             raise ValueError(f"no number in size {text!r}")
-        return int(float(text[:-1]) * multipliers[text[-1]])
-    return int(text)
+        value = int(float(text[:-1]) * multipliers[text[-1]])
+    else:
+        value = int(text)
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return value
+
+
+def _size_arg(text: str) -> int:
+    """argparse ``type=`` wrapper: surface parse_size's message verbatim.
+
+    argparse swallows ValueError and prints a generic "invalid value";
+    ArgumentTypeError keeps "size must be positive, got ..." visible.
+    """
+    try:
+        return parse_size(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,9 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     cache = sub.add_parser("cache", help="solve a cache or plain memory")
-    cache.add_argument("--capacity", required=True, type=parse_size,
+    cache.add_argument("--capacity", required=True, type=_size_arg,
                        help="e.g. 32K, 2M, 192M")
-    cache.add_argument("--block", type=parse_size, default=64)
+    cache.add_argument("--block", type=_size_arg, default=64)
     cache.add_argument("--assoc", type=int, default=8,
                        help="associativity; 0 for a plain RAM")
     cache.add_argument("--banks", type=int, default=1)
@@ -69,19 +91,46 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(_PRESETS))
 
     mm = sub.add_parser("main-memory", help="solve a main-memory DRAM chip")
-    mm.add_argument("--capacity", required=True, type=parse_size,
+    mm.add_argument("--capacity", required=True, type=_size_arg,
                     help="bits, e.g. 1G = 1 Gb")
     mm.add_argument("--node", type=float, default=32.0)
     mm.add_argument("--banks", type=int, default=8)
     mm.add_argument("--pins", type=int, default=8)
     mm.add_argument("--burst", type=int, default=8)
-    mm.add_argument("--page", type=parse_size, default=8192,
+    mm.add_argument("--page", type=_size_arg, default=8192,
                     help="page size in bits")
+
+    for solver in (cache, mm):
+        solver.add_argument(
+            "--cache", metavar="PATH", default=None, dest="cache_path",
+            help="persistent solve-cache file (JSON); repeated identical "
+                 "solves are served from it",
+        )
+        solver.add_argument(
+            "--stats", action="store_true",
+            help="print optimizer sweep statistics (candidate counts, "
+                 "cache hit rates, wall time)",
+        )
 
     sub.add_parser("validate-ddr3",
                    help="reproduce the paper's Table 2 validation")
     sub.add_parser("table3", help="solve the LLC study's Table 3 columns")
     return parser
+
+
+def _solver_knobs(args: argparse.Namespace) -> tuple:
+    """The optional solve cache and stats accumulator for a solver run."""
+    solve_cache = (
+        SolveCache(args.cache_path) if args.cache_path is not None else None
+    )
+    stats = SweepStats() if args.stats else None
+    return solve_cache, stats
+
+
+def _print_stats(stats: SweepStats | None) -> None:
+    if stats is not None:
+        print()
+        print(stats.summary())
 
 
 def _run_cache(args: argparse.Namespace) -> int:
@@ -96,7 +145,12 @@ def _run_cache(args: argparse.Namespace) -> int:
                      else AccessMode.NORMAL),
         sleep_transistors=args.sleep_transistors,
     )
-    print(solve(spec, _PRESETS[args.optimize]).summary())
+    solve_cache, stats = _solver_knobs(args)
+    solution = solve(
+        spec, _PRESETS[args.optimize], solve_cache=solve_cache, stats=stats
+    )
+    print(solution.summary())
+    _print_stats(stats)
     return 0
 
 
@@ -108,7 +162,12 @@ def _run_main_memory(args: argparse.Namespace) -> int:
         burst_length=args.burst,
         page_bits=args.page,
     )
-    print(solve_main_memory(spec, node_nm=args.node).summary())
+    solve_cache, stats = _solver_knobs(args)
+    solution = solve_main_memory(
+        spec, node_nm=args.node, solve_cache=solve_cache, stats=stats
+    )
+    print(solution.summary())
+    _print_stats(stats)
     return 0
 
 
@@ -148,7 +207,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
-    except ValueError as exc:
+    except (ValueError, NoFeasibleSolution, OSError) as exc:
+        # NoFeasibleSolution subclasses RuntimeError, not ValueError: an
+        # infeasible request must still exit cleanly, not dump a traceback.
+        # OSError covers an unwritable --cache path.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -17,6 +17,7 @@ from repro.core.config import (
 )
 from repro.core.optimizer import (
     NoFeasibleSolution,
+    SweepStats,
     feasible_designs,
     filter_constraints,
     optimize,
@@ -24,6 +25,7 @@ from repro.core.optimizer import (
     rank,
 )
 from repro.core.results import Solution
+from repro.core.solvecache import SolveCache
 
 __all__ = [
     "AccessMode",
@@ -35,6 +37,8 @@ __all__ = [
     "NoFeasibleSolution",
     "OptimizationTarget",
     "Solution",
+    "SolveCache",
+    "SweepStats",
     "data_array_spec",
     "feasible_designs",
     "filter_constraints",

@@ -24,14 +24,15 @@ from repro.array.mainmem import (
     derive_energies,
     derive_timing,
 )
-from repro.array.organization import ArrayMetrics, ArraySpec
+from repro.array.organization import ArrayMetrics, ArraySpec, EvalCache
 from repro.core.config import (
     DENSITY_OPTIMIZED,
     MemorySpec,
     OptimizationTarget,
 )
-from repro.core.optimizer import optimize
+from repro.core.optimizer import SweepStats, optimize
 from repro.core.results import Solution
+from repro.core.solvecache import SolveCache
 from repro.tech.nodes import Technology, technology
 
 
@@ -79,15 +80,43 @@ def tag_array_spec(spec: MemorySpec) -> ArraySpec:
 
 
 def solve(
-    spec: MemorySpec, target: OptimizationTarget | None = None
+    spec: MemorySpec,
+    target: OptimizationTarget | None = None,
+    *,
+    eval_cache: EvalCache | None = None,
+    solve_cache: SolveCache | None = None,
+    stats: SweepStats | None = None,
 ) -> Solution:
-    """Solve ``spec``, returning the optimizer's best design point."""
+    """Solve ``spec``, returning the optimizer's best design point.
+
+    ``eval_cache`` shares circuit designs across candidates and solves
+    (a fresh one spanning the data and tag sweeps is created when
+    omitted); ``solve_cache`` short-circuits whole repeated solves from
+    disk; ``stats`` accumulates :class:`~repro.core.optimizer.SweepStats`
+    counters.  None of them changes the returned numbers.
+    """
     target = target or OptimizationTarget()
     tech = technology(spec.node_nm)
-    data = optimize(tech, data_array_spec(spec), target)
+    if eval_cache is None:
+        eval_cache = EvalCache()
+    data = optimize(
+        tech,
+        data_array_spec(spec),
+        target,
+        eval_cache=eval_cache,
+        solve_cache=solve_cache,
+        stats=stats,
+    )
     tag = None
     if spec.is_cache:
-        tag = optimize(tech, tag_array_spec(spec), target)
+        tag = optimize(
+            tech,
+            tag_array_spec(spec),
+            target,
+            eval_cache=eval_cache,
+            solve_cache=solve_cache,
+            stats=stats,
+        )
     return Solution(spec=spec, data=data, tag=tag)
 
 
@@ -134,6 +163,10 @@ def solve_main_memory(
     node_nm: float,
     target: OptimizationTarget | None = None,
     clock_period: float = 0.0,
+    *,
+    eval_cache: EvalCache | None = None,
+    solve_cache: SolveCache | None = None,
+    stats: SweepStats | None = None,
 ) -> MainMemorySolution:
     """Solve a main-memory DRAM chip at ``node_nm``.
 
@@ -142,9 +175,19 @@ def solve_main_memory(
     """
     target = target or DENSITY_OPTIMIZED
     tech = technology(node_nm)
-    metrics = optimize(tech, spec.array_spec(), target)
+    array_spec = spec.array_spec()
+    metrics = optimize(
+        tech,
+        array_spec,
+        target,
+        eval_cache=eval_cache,
+        solve_cache=solve_cache,
+        stats=stats,
+    )
     timing = derive_timing(spec, metrics, clock_period)
-    vdd_cell = tech.cell(spec.array_spec().cell_tech, "lstp").vdd_cell
+    vdd_cell = tech.cell(
+        array_spec.cell_tech, array_spec.periph_device_type
+    ).vdd_cell
     energies = derive_energies(spec, metrics, vdd_cell)
     return MainMemorySolution(
         spec=spec, metrics=metrics, timing=timing, energies=energies
@@ -152,10 +195,23 @@ def solve_main_memory(
 
 
 class CactiD:
-    """Facade for repeated solves at one technology node."""
+    """Facade for repeated solves at one technology node.
 
-    def __init__(self, node_nm: float = 32.0):
+    Holds an :class:`~repro.array.organization.EvalCache` so circuit
+    designs (subarrays, H-trees, repeated wires) are shared across every
+    solve issued through the facade, and -- when ``cache_path`` is given
+    -- a persistent :class:`~repro.core.solvecache.SolveCache` so whole
+    repeated solves are served from disk across processes.  ``stats``
+    accumulates sweep observability counters over the facade's lifetime.
+    """
+
+    def __init__(self, node_nm: float = 32.0, cache_path=None):
         self.node_nm = node_nm
+        self.eval_cache = EvalCache()
+        self.solve_cache = (
+            SolveCache(cache_path) if cache_path is not None else None
+        )
+        self.stats = SweepStats()
 
     @cached_property
     def technology(self) -> Technology:
@@ -168,7 +224,13 @@ class CactiD:
             raise ValueError(
                 f"spec is at {spec.node_nm} nm, facade at {self.node_nm} nm"
             )
-        return solve(spec, target)
+        return solve(
+            spec,
+            target,
+            eval_cache=self.eval_cache,
+            solve_cache=self.solve_cache,
+            stats=self.stats,
+        )
 
     def solve_main_memory(
         self,
@@ -176,4 +238,12 @@ class CactiD:
         target: OptimizationTarget | None = None,
         clock_period: float = 0.0,
     ) -> MainMemorySolution:
-        return solve_main_memory(spec, self.node_nm, target, clock_period)
+        return solve_main_memory(
+            spec,
+            self.node_nm,
+            target,
+            clock_period,
+            eval_cache=self.eval_cache,
+            solve_cache=self.solve_cache,
+            stats=self.stats,
+        )

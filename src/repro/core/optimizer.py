@@ -8,19 +8,39 @@ access time is within a percentage of the fastest remaining solution (max
 access time constraint), and finally ranks that subset by a normalized,
 weighted combination of dynamic energy, leakage power, random cycle time,
 and multisubbank interleave cycle time.
+
+The sweep has a fast path that changes none of the numbers:
+
+* a cheap structural pre-filter (:func:`~repro.array.organization.
+  prefilter_org`) rejects most candidate tuples from spec arithmetic
+  alone, before any circuit object is built;
+* an :class:`~repro.array.organization.EvalCache` shares subarray and
+  H-tree designs across candidates (and, via the
+  :class:`~repro.core.cacti.CactiD` facade, across solves);
+* an optional persistent :class:`~repro.core.solvecache.SolveCache`
+  short-circuits whole repeated solves from disk.
+
+:class:`SweepStats` counts what each layer did so speedups are
+measurable.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
+from dataclasses import dataclass, field
 
 from repro.array.organization import (
     ArrayMetrics,
     ArraySpec,
+    EvalCache,
     InfeasibleOrganization,
     InfeasibleSubarray,
     build_organization,
+    enumerate_feasible_orgs,
     enumerate_orgs,
+    org_grid_size,
+    prefilter_org,
 )
 from repro.core.config import OptimizationTarget
 from repro.tech.nodes import Technology
@@ -30,16 +50,170 @@ class NoFeasibleSolution(RuntimeError):
     """No partitioning tuple could realize the requested array."""
 
 
+@dataclass
+class SweepStats:
+    """Observability counters for one or more optimizer sweeps.
+
+    Accumulates in place: pass the same instance to several solves (as
+    the :class:`~repro.core.cacti.CactiD` facade does) to get totals.
+    """
+
+    enumerated: int = 0  #: candidate tuples enumerated
+    prefiltered: int = 0  #: rejected by the cheap structural pre-filter
+    built: int = 0  #: full circuit constructions attempted
+    infeasible_at_build: int = 0  #: rejected by electrical checks at build
+    feasible: int = 0  #: designs that survived to ranking
+    subarray_hits: int = 0  #: subarray designs reused from the eval cache
+    subarray_misses: int = 0
+    htree_hits: int = 0  #: H-tree designs reused from the eval cache
+    htree_misses: int = 0
+    solve_cache_hits: int = 0  #: whole solves served from the disk cache
+    solve_cache_misses: int = 0
+    wall_time_s: float = 0.0  #: total optimizer wall time
+    _eval_marks: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def prefilter_rate(self) -> float:
+        return self.prefiltered / self.enumerated if self.enumerated else 0.0
+
+    @property
+    def subarray_hit_rate(self) -> float:
+        total = self.subarray_hits + self.subarray_misses
+        return self.subarray_hits / total if total else 0.0
+
+    @property
+    def htree_hit_rate(self) -> float:
+        total = self.htree_hits + self.htree_misses
+        return self.htree_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "enumerated": self.enumerated,
+            "prefiltered": self.prefiltered,
+            "built": self.built,
+            "infeasible_at_build": self.infeasible_at_build,
+            "feasible": self.feasible,
+            "subarray_hits": self.subarray_hits,
+            "subarray_misses": self.subarray_misses,
+            "htree_hits": self.htree_hits,
+            "htree_misses": self.htree_misses,
+            "solve_cache_hits": self.solve_cache_hits,
+            "solve_cache_misses": self.solve_cache_misses,
+            "prefilter_rate": self.prefilter_rate,
+            "subarray_hit_rate": self.subarray_hit_rate,
+            "htree_hit_rate": self.htree_hit_rate,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report, printable from the CLI."""
+        lines = [
+            f"candidates enumerated : {self.enumerated}",
+            f"pre-filtered (cheap)  : {self.prefiltered} "
+            f"({self.prefilter_rate * 100:.1f}%)",
+            f"built                 : {self.built}",
+            f"infeasible at build   : {self.infeasible_at_build}",
+            f"feasible designs      : {self.feasible}",
+            f"subarray cache        : {self.subarray_hits} hits / "
+            f"{self.subarray_misses} misses "
+            f"({self.subarray_hit_rate * 100:.1f}%)",
+            f"h-tree cache          : {self.htree_hits} hits / "
+            f"{self.htree_misses} misses "
+            f"({self.htree_hit_rate * 100:.1f}%)",
+            f"solve cache           : {self.solve_cache_hits} hits / "
+            f"{self.solve_cache_misses} misses",
+            f"wall time             : {self.wall_time_s * 1e3:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+
+    def _mark_eval_cache(self, cache: EvalCache) -> None:
+        """Remember the cache's counters so deltas can be accumulated."""
+        self._eval_marks[id(cache)] = (
+            cache.subarray_hits,
+            cache.subarray_misses,
+            cache.htree_hits,
+            cache.htree_misses,
+        )
+
+    def _absorb_eval_cache(self, cache: EvalCache) -> None:
+        """Add the cache's counter deltas since the matching mark."""
+        sh0, sm0, hh0, hm0 = self._eval_marks.pop(id(cache), (0, 0, 0, 0))
+        self.subarray_hits += cache.subarray_hits - sh0
+        self.subarray_misses += cache.subarray_misses - sm0
+        self.htree_hits += cache.htree_hits - hh0
+        self.htree_misses += cache.htree_misses - hm0
+
+
 def feasible_designs(
-    tech: Technology, spec: ArraySpec, orgs: Iterable | None = None
+    tech: Technology,
+    spec: ArraySpec,
+    orgs: Iterable | None = None,
+    *,
+    cache: EvalCache | None = None,
+    stats: SweepStats | None = None,
+    prefilter: bool = True,
 ) -> list[ArrayMetrics]:
-    """Evaluate every feasible partitioning of ``spec``."""
+    """Evaluate every feasible partitioning of ``spec``.
+
+    ``prefilter=False`` disables the cheap structural pre-filter and
+    forces full construction of every candidate (the naive path, kept for
+    equivalence testing); ``cache`` shares circuit designs across
+    candidates.  Neither affects the returned metrics.
+    """
+    if stats is not None and cache is not None:
+        stats._mark_eval_cache(cache)
     designs = []
-    for org in orgs if orgs is not None else enumerate_orgs(spec):
-        try:
-            designs.append(build_organization(tech, spec, org))
-        except (InfeasibleOrganization, InfeasibleSubarray):
-            continue
+    if orgs is None and prefilter:
+        # Fast path: the structural pre-filter is fused into enumeration,
+        # so rejected tuples cost a few arithmetic ops and no objects.
+        candidates = enumerate_feasible_orgs(spec)
+        built = 0
+        for org, geometry in candidates:
+            built += 1
+            try:
+                designs.append(
+                    build_organization(
+                        tech, spec, org, cache=cache, geometry=geometry
+                    )
+                )
+            except (InfeasibleOrganization, InfeasibleSubarray):
+                if stats is not None:
+                    stats.infeasible_at_build += 1
+                continue
+        if stats is not None:
+            grid = org_grid_size(spec)
+            stats.enumerated += grid
+            stats.prefiltered += grid - built
+            stats.built += built
+    else:
+        for org in orgs if orgs is not None else enumerate_orgs(spec):
+            if stats is not None:
+                stats.enumerated += 1
+            geometry = None
+            if prefilter:
+                geometry = prefilter_org(spec, org)
+                if geometry is None:
+                    if stats is not None:
+                        stats.prefiltered += 1
+                    continue
+            if stats is not None:
+                stats.built += 1
+            try:
+                designs.append(
+                    build_organization(
+                        tech, spec, org, cache=cache, geometry=geometry
+                    )
+                )
+            except (InfeasibleOrganization, InfeasibleSubarray):
+                if stats is not None:
+                    stats.infeasible_at_build += 1
+                continue
+    if stats is not None:
+        stats.feasible += len(designs)
+        if cache is not None:
+            stats._absorb_eval_cache(cache)
     if not designs:
         raise NoFeasibleSolution(
             f"no feasible organization for {spec.capacity_bits} bits of "
@@ -52,6 +226,10 @@ def filter_constraints(
     designs: list[ArrayMetrics], target: OptimizationTarget
 ) -> list[ArrayMetrics]:
     """Apply the staged max-area then max-access-time filters."""
+    if not designs:
+        raise NoFeasibleSolution(
+            "no designs to filter: the feasible set is empty"
+        )
     best_area = min(d.area for d in designs)
     within_area = [
         d for d in designs
@@ -68,6 +246,10 @@ def rank(
     designs: list[ArrayMetrics], target: OptimizationTarget
 ) -> list[ArrayMetrics]:
     """Sort candidates by the normalized weighted objective, best first."""
+    if not designs:
+        raise NoFeasibleSolution(
+            "no designs to rank: the constrained set is empty"
+        )
 
     def floor(values: Iterable[float]) -> float:
         smallest = min(values)
@@ -93,22 +275,60 @@ def optimize(
     tech: Technology,
     spec: ArraySpec,
     target: OptimizationTarget,
+    *,
+    eval_cache: EvalCache | None = None,
+    solve_cache=None,
+    stats: SweepStats | None = None,
 ) -> ArrayMetrics:
-    """Full pipeline: enumerate, filter, rank; return the best design."""
-    spec = _with_repeater_penalty(spec, target)
-    designs = feasible_designs(tech, spec)
-    constrained = filter_constraints(designs, target)
-    return rank(constrained, target)[0]
+    """Full pipeline: enumerate, filter, rank; return the best design.
+
+    ``eval_cache`` shares circuit designs across candidates (a fresh one
+    is created per call when omitted); ``solve_cache`` is an optional
+    :class:`~repro.core.solvecache.SolveCache` consulted before -- and
+    updated after -- the sweep; ``stats`` accumulates
+    :class:`SweepStats` counters in place.
+    """
+    t0 = time.perf_counter()
+    if solve_cache is not None:
+        hit = solve_cache.get(spec, target, tech.node_nm)
+        if hit is not None:
+            if stats is not None:
+                stats.solve_cache_hits += 1
+                stats.wall_time_s += time.perf_counter() - t0
+            return hit
+        if stats is not None:
+            stats.solve_cache_misses += 1
+    if eval_cache is None:
+        eval_cache = EvalCache()
+    swept = _with_repeater_penalty(spec, target)
+    designs = feasible_designs(tech, swept, cache=eval_cache, stats=stats)
+    best = rank(filter_constraints(designs, target), target)[0]
+    if solve_cache is not None:
+        solve_cache.put(spec, target, tech.node_nm, best)
+    if stats is not None:
+        stats.wall_time_s += time.perf_counter() - t0
+    return best
 
 
 def pareto_solutions(
-    tech: Technology, spec: ArraySpec, target: OptimizationTarget
+    tech: Technology,
+    spec: ArraySpec,
+    target: OptimizationTarget,
+    *,
+    eval_cache: EvalCache | None = None,
+    stats: SweepStats | None = None,
 ) -> list[ArrayMetrics]:
     """All constraint-satisfying designs, ranked -- the solution cloud the
     paper plots in its Figure 1 validation bubbles."""
+    t0 = time.perf_counter()
+    if eval_cache is None:
+        eval_cache = EvalCache()
     spec = _with_repeater_penalty(spec, target)
-    designs = feasible_designs(tech, spec)
-    return rank(filter_constraints(designs, target), target)
+    designs = feasible_designs(tech, spec, cache=eval_cache, stats=stats)
+    ranked = rank(filter_constraints(designs, target), target)
+    if stats is not None:
+        stats.wall_time_s += time.perf_counter() - t0
+    return ranked
 
 
 def _with_repeater_penalty(

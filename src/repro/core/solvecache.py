@@ -1,0 +1,145 @@
+"""Persistent solve-record cache (JSON on disk).
+
+Design-space exploration workloads re-solve the same arrays over and
+over -- across processes, sweeps, and sessions.  In the spirit of the
+Accelergy CACTI wrapper's records file, :class:`SolveCache` keeps one
+JSON file mapping a stable hash of ``(ArraySpec, OptimizationTarget,
+node)`` to the winning :class:`~repro.array.organization.ArrayMetrics`,
+so a repeated query costs a dictionary lookup instead of a sweep.
+
+Round-trips are bit-identical: Python's ``json`` emits the shortest
+``repr`` of each float, which parses back to the exact same IEEE-754
+value, and the regression tests assert field-for-field equality.
+
+The file is version-stamped.  ``CACHE_VERSION`` must be bumped whenever
+the model changes numbers (any change to the circuit or array models);
+a version mismatch silently discards the old records rather than serving
+stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.array.organization import ArrayMetrics, ArraySpec, OrgParams
+from repro.core.config import OptimizationTarget
+from repro.tech.cells import CellTech
+
+#: Bump on any model change that alters solved numbers.
+CACHE_VERSION = "repro-solve-cache-v1"
+
+#: ArrayMetrics scalar fields (everything except the nested spec/org).
+_METRIC_FIELDS = tuple(
+    f.name for f in fields(ArrayMetrics) if f.name not in ("spec", "org")
+)
+
+
+def spec_to_dict(spec: ArraySpec) -> dict:
+    d = asdict(spec)
+    d["cell_tech"] = spec.cell_tech.value
+    return d
+
+
+def spec_from_dict(d: dict) -> ArraySpec:
+    d = dict(d)
+    d["cell_tech"] = CellTech(d["cell_tech"])
+    return ArraySpec(**d)
+
+
+def metrics_to_dict(metrics: ArrayMetrics) -> dict:
+    d = {name: getattr(metrics, name) for name in _METRIC_FIELDS}
+    d["spec"] = spec_to_dict(metrics.spec)
+    d["org"] = asdict(metrics.org)
+    return d
+
+
+def metrics_from_dict(d: dict) -> ArrayMetrics:
+    d = dict(d)
+    spec = spec_from_dict(d.pop("spec"))
+    org = OrgParams(**d.pop("org"))
+    return ArrayMetrics(spec=spec, org=org, **d)
+
+
+def solve_key(
+    spec: ArraySpec, target: OptimizationTarget, node_nm: float
+) -> str:
+    """Stable content hash of one solve request."""
+    payload = {
+        "version": CACHE_VERSION,
+        "node_nm": node_nm,
+        "spec": spec_to_dict(spec),
+        "target": asdict(target),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SolveCache:
+    """On-disk cache of optimizer results, keyed by the solve request.
+
+    Opt-in: pass a path to :class:`~repro.core.cacti.CactiD` via
+    ``cache_path`` or to the CLI via ``--cache``.  Unreadable, corrupt,
+    or version-mismatched files are treated as empty, never as errors.
+    Writes are write-through and atomic (temp file + rename), so a
+    killed process cannot corrupt the records.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._records: dict[str, dict] = self._load()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("version") != CACHE_VERSION:
+            return {}
+        records = payload.get("records")
+        return records if isinstance(records, dict) else {}
+
+    def get(
+        self, spec: ArraySpec, target: OptimizationTarget, node_nm: float
+    ) -> ArrayMetrics | None:
+        record = self._records.get(solve_key(spec, target, node_nm))
+        if record is None:
+            self.misses += 1
+            return None
+        try:
+            metrics = metrics_from_dict(record)
+        except (KeyError, TypeError, ValueError):
+            # A hand-edited or truncated record: treat as a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(
+        self,
+        spec: ArraySpec,
+        target: OptimizationTarget,
+        node_nm: float,
+        metrics: ArrayMetrics,
+    ) -> None:
+        self._records[solve_key(spec, target, node_nm)] = metrics_to_dict(
+            metrics
+        )
+        self._save()
+
+    def _save(self) -> None:
+        payload = {"version": CACHE_VERSION, "records": self._records}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(self.path)

@@ -96,9 +96,16 @@ def run_one(
     source: str = "paper",
     scale: int = DEFAULT_SCALE,
     seed: int = 1234,
+    config=None,
+    energy_model=None,
 ) -> RunResult:
-    """Simulate one application on one configuration."""
-    config = build_system_config(config_name, source=source, scale=scale)
+    """Simulate one application on one configuration.
+
+    ``config`` and ``energy_model`` accept pre-built objects so a study
+    matrix builds each configuration once, not once per application.
+    """
+    if config is None:
+        config = build_system_config(config_name, source=source, scale=scale)
     scaled_profile = profile.scaled(scale)
     stats = run_workload(
         config,
@@ -110,7 +117,8 @@ def run_one(
         ),
     )
     duration = stats.cycles / CPU_HZ
-    energy_model = build_energy_model(config_name, source=source)
+    if energy_model is None:
+        energy_model = build_energy_model(config_name, source=source)
     breakdown = hierarchy_power(energy_model, stats, duration)
     system = SystemPower(
         core=scaled_core_power(),
@@ -134,14 +142,32 @@ def run_study(
     instructions_per_thread: int | None = None,
     seed: int = 1234,
 ) -> StudyResult:
-    """Run the full study matrix."""
+    """Run the full study matrix.
+
+    Each configuration (and its energy model, which may invoke the
+    CACTI-D solver when ``source="cacti"``) is built once and shared
+    across all applications.
+    """
+    built_configs = {
+        name: build_system_config(name, source=source, scale=scale)
+        for name in configs
+    }
+    energy_models = {
+        name: build_energy_model(name, source=source) for name in configs
+    }
     results: dict[tuple[str, str], RunResult] = {}
     for profile in profiles:
         if instructions_per_thread is not None:
             profile = profile.with_instructions(instructions_per_thread)
         for config_name in configs:
             results[(profile.name, config_name)] = run_one(
-                profile, config_name, source=source, scale=scale, seed=seed
+                profile,
+                config_name,
+                source=source,
+                scale=scale,
+                seed=seed,
+                config=built_configs[config_name],
+                energy_model=energy_models[config_name],
             )
     return StudyResult(
         results=results,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 
 class CellTech(Enum):
@@ -219,8 +220,13 @@ def comm_dram_cell(node_nm: float) -> CellParams:
     )
 
 
+@lru_cache(maxsize=None)
 def cell(tech: CellTech, node_nm: float, periph_vdd: float) -> CellParams:
     """Build the cell parameters for ``tech`` at a node.
+
+    Cached: parameters are pure functions of the arguments and
+    :class:`CellParams` is frozen, so every candidate organization in an
+    optimizer sweep shares one instance.
 
     ``periph_vdd`` is the peripheral-circuit supply; SRAM cells share it
     (paper Table 1 lists 0.9 V at 32 nm, the HP supply), while DRAM cells

@@ -89,6 +89,43 @@ class TestAccessModes:
         assert seq.e_read < normal.e_read
 
 
+class TestMainMemoryPeripheryLookup:
+    def test_vdd_cell_follows_spec_periphery(self, monkeypatch):
+        """solve_main_memory must look up vdd_cell with the array spec's
+        own periphery device type, not a hardcoded 'lstp'.  SRAM cells
+        inherit the peripheral supply, so an SRAM-cell override with 'hp'
+        periphery makes the lookup observable."""
+        from repro.array.organization import ArraySpec
+        from repro.core import cacti as cacti_mod
+        from repro.tech.nodes import technology
+
+        class HpSramMainMemory(MainMemorySpec):
+            def array_spec(self):
+                return ArraySpec(
+                    capacity_bits=self.capacity_bits,
+                    output_bits=self.column_bits,
+                    assoc=1,
+                    nbanks=self.nbanks,
+                    cell_tech=CellTech.SRAM,
+                    periph_device_type="hp",
+                )
+
+        captured = {}
+        real = cacti_mod.derive_energies
+
+        def spy(spec, metrics, vdd_cell):
+            captured["vdd"] = vdd_cell
+            return real(spec, metrics, vdd_cell)
+
+        monkeypatch.setattr(cacti_mod, "derive_energies", spy)
+        cacti_mod.solve_main_memory(
+            HpSramMainMemory(capacity_bits=1 << 20), node_nm=32.0
+        )
+        tech = technology(32.0)
+        assert captured["vdd"] == tech.cell(CellTech.SRAM, "hp").vdd_cell
+        assert captured["vdd"] != tech.cell(CellTech.SRAM, "lstp").vdd_cell
+
+
 class TestMainMemory:
     def test_solve_at_32nm(self):
         mm = solve_main_memory(

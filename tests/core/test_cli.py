@@ -24,6 +24,15 @@ class TestParseSize:
         with pytest.raises(ValueError):
             parse_size("abc")
 
+    def test_non_positive_rejected(self):
+        for bad in ("0", "-1", "-4K", "-2M", "-1G", "0K", "-0.5M"):
+            with pytest.raises(ValueError, match="positive"):
+                parse_size(bad)
+
+    def test_positive_still_accepted(self):
+        assert parse_size("1") == 1
+        assert parse_size("0.5K") == 512
+
 
 class TestCommands:
     def test_cache(self, capsys):
@@ -60,3 +69,58 @@ class TestCommands:
         rc = main(["validate-ddr3"])
         assert rc == 0
         assert "mean |error|" in capsys.readouterr().out
+
+    def test_infeasible_request_is_a_clean_error(self, capsys):
+        """NoFeasibleSolution subclasses RuntimeError, not ValueError; it
+        must still print `error: ...` and exit 2, not dump a traceback."""
+        rc = main(["cache", "--capacity", "1K", "--assoc", "8"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no feasible organization" in err
+
+    def test_negative_capacity_is_a_clean_error(self, capsys):
+        """argparse rejects the value at parse time with our message,
+        not a generic 'invalid value' or a traceback from the solver."""
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "--capacity=-4K"])
+        assert exc.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_stats_flag_prints_sweep_stats(self, capsys):
+        rc = main(["cache", "--capacity", "256K", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "candidates enumerated" in out
+        assert "solve cache" in out
+
+    def test_cache_flag_creates_and_reuses_cache(self, tmp_path, capsys):
+        path = tmp_path / "solves.json"
+        args = ["cache", "--capacity", "256K", "--cache", str(path),
+                "--stats"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        assert "solve cache           : 0 hits" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "solve cache           : 2 hits" in second
+        # The cached run reports the same design.
+        assert first.split("\n\n")[0] == second.split("\n\n")[0]
+
+    def test_unwritable_cache_path_is_a_clean_error(self, tmp_path, capsys):
+        """--cache pointing at a directory must not dump a traceback."""
+        rc = main(["cache", "--capacity", "256K",
+                   "--cache", str(tmp_path)])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_cache_flag_main_memory(self, tmp_path, capsys):
+        path = tmp_path / "solves.json"
+        args = ["main-memory", "--capacity", "1G", "--node", "78",
+                "--cache", str(path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

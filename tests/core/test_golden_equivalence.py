@@ -1,0 +1,114 @@
+"""Golden-equivalence regression: the optimizer fast path changes nothing.
+
+The fast path is three layers -- structural pre-filter fused into
+enumeration, cross-candidate EvalCache memoization, and the persistent
+solve cache -- and every one of them must be numerically invisible.
+These tests compare against the naive path (full construction of every
+enumerated candidate, no caches) field for field, for SRAM, LP-DRAM, and
+COMM-DRAM arrays at 32 and 78 nm.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.array.organization import (
+    ArraySpec,
+    EvalCache,
+    enumerate_feasible_orgs,
+    enumerate_orgs,
+    prefilter_org,
+)
+from repro.core.config import DENSITY_OPTIMIZED, OptimizationTarget
+from repro.core.optimizer import feasible_designs, optimize
+from repro.core.solvecache import SolveCache
+from repro.tech.cells import CellTech
+from repro.tech.nodes import technology
+
+
+def sram_spec(capacity_kb: int = 128) -> ArraySpec:
+    return ArraySpec(
+        capacity_bits=capacity_kb * 1024 * 8,
+        output_bits=512,
+        assoc=8,
+        cell_tech=CellTech.SRAM,
+        periph_device_type="hp-long-channel",
+    )
+
+
+def lp_dram_spec(capacity_kb: int = 256) -> ArraySpec:
+    return ArraySpec(
+        capacity_bits=capacity_kb * 1024 * 8,
+        output_bits=512,
+        assoc=8,
+        cell_tech=CellTech.LP_DRAM,
+        periph_device_type="hp-long-channel",
+    )
+
+
+def comm_dram_spec(capacity_mbit: int = 64) -> ArraySpec:
+    return ArraySpec(
+        capacity_bits=capacity_mbit << 20,
+        output_bits=64,
+        assoc=1,
+        nbanks=8,
+        cell_tech=CellTech.COMM_DRAM,
+        periph_device_type="lstp",
+        page_bits=8192,
+    )
+
+
+GRID = [
+    pytest.param(spec, node, target, id=f"{name}-{node}nm")
+    for node in (32.0, 78.0)
+    for name, spec, target in (
+        ("sram", sram_spec(), OptimizationTarget()),
+        ("lp-dram", lp_dram_spec(), OptimizationTarget()),
+        ("comm-dram", comm_dram_spec(), DENSITY_OPTIMIZED),
+    )
+]
+
+
+def assert_metrics_identical(a, b):
+    """Field-for-field (bit-identical float) equality of two metrics."""
+    for f in dataclasses.fields(type(a)):
+        assert getattr(a, f.name) == getattr(b, f.name), f.name
+
+
+@pytest.mark.parametrize("spec,node,target", GRID)
+def test_fast_path_matches_naive(spec, node, target):
+    tech = technology(node)
+    naive = feasible_designs(tech, spec, cache=None, prefilter=False)
+    fast = feasible_designs(tech, spec, cache=EvalCache(), prefilter=True)
+    assert len(naive) == len(fast)
+    for a, b in zip(naive, fast):
+        assert_metrics_identical(a, b)
+
+
+@pytest.mark.parametrize("spec,node,target", GRID)
+def test_fused_enumeration_matches_filtered_enumeration(spec, node, target):
+    """enumerate_feasible_orgs == prefilter_org over enumerate_orgs,
+    including candidate order (ranking ties break by that order)."""
+    fused = [org for org, _ in enumerate_feasible_orgs(spec)]
+    filtered = [
+        org for org in enumerate_orgs(spec)
+        if prefilter_org(spec, org) is not None
+    ]
+    assert fused == filtered
+
+
+@pytest.mark.parametrize("spec,node,target", GRID)
+def test_solve_cache_round_trip_is_bit_identical(spec, node, target, tmp_path):
+    tech = technology(node)
+    direct = optimize(tech, spec, target)
+
+    cache = SolveCache(tmp_path / "solves.json")
+    first = optimize(tech, spec, target, solve_cache=cache)
+    assert_metrics_identical(first, direct)
+
+    # A fresh cache object re-reads the file: the disk round trip must
+    # reproduce every float exactly.
+    reread = SolveCache(tmp_path / "solves.json")
+    cached = optimize(tech, spec, target, solve_cache=reread)
+    assert reread.hits == 1
+    assert_metrics_identical(cached, direct)

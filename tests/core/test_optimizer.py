@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.array.organization import ArraySpec
+from repro.array.organization import ArraySpec, EvalCache
 from repro.core.config import OptimizationTarget
 from repro.core.optimizer import (
     NoFeasibleSolution,
+    SweepStats,
     feasible_designs,
     filter_constraints,
     optimize,
@@ -77,6 +78,61 @@ class TestStagedFiltering:
         target = OptimizationTarget(max_area_fraction=1e9,
                                     max_acctime_fraction=1e9)
         assert len(filter_constraints(designs, target)) == len(designs)
+
+
+class TestEmptyDesignLists:
+    def test_filter_constraints_empty_raises_no_feasible(self):
+        with pytest.raises(NoFeasibleSolution):
+            filter_constraints([], OptimizationTarget())
+
+    def test_rank_empty_raises_no_feasible(self):
+        with pytest.raises(NoFeasibleSolution):
+            rank([], OptimizationTarget())
+
+
+class TestSweepStats:
+    def test_counters_account_for_every_candidate(self):
+        stats = SweepStats()
+        designs = feasible_designs(TECH, SPEC, stats=stats)
+        assert stats.enumerated > 0
+        assert stats.enumerated == stats.prefiltered + stats.built
+        assert stats.feasible == len(designs)
+        assert stats.built == stats.feasible + stats.infeasible_at_build
+
+    def test_eval_cache_hits_counted(self):
+        stats = SweepStats()
+        cache = EvalCache()
+        feasible_designs(TECH, SPEC, cache=cache, stats=stats)
+        assert stats.subarray_hits + stats.subarray_misses == stats.built
+        assert stats.subarray_hits > 0
+        assert stats.htree_hits > 0
+        assert 0.0 < stats.subarray_hit_rate < 1.0
+
+    def test_stats_accumulate_across_solves(self):
+        stats = SweepStats()
+        optimize(TECH, SPEC, OptimizationTarget(), stats=stats)
+        first = stats.enumerated
+        optimize(TECH, SPEC, OptimizationTarget(), stats=stats)
+        assert stats.enumerated == 2 * first
+        assert stats.wall_time_s > 0.0
+
+    def test_summary_and_dict_expose_counts(self):
+        stats = SweepStats()
+        optimize(TECH, SPEC, OptimizationTarget(), stats=stats)
+        text = stats.summary()
+        assert "candidates enumerated" in text
+        assert "wall time" in text
+        d = stats.as_dict()
+        assert d["enumerated"] == stats.enumerated
+        assert "subarray_hit_rate" in d
+
+    def test_shared_eval_cache_speeds_second_solve(self):
+        cache = EvalCache()
+        feasible_designs(TECH, SPEC, cache=cache)
+        misses = cache.subarray_misses
+        feasible_designs(TECH, SPEC, cache=cache)
+        # Second identical sweep creates no new subarray designs.
+        assert cache.subarray_misses == misses
 
 
 class TestRanking:

@@ -1,0 +1,109 @@
+"""Unit tests for the persistent solve cache."""
+
+import json
+
+import pytest
+
+from repro.array.organization import ArraySpec
+from repro.core.config import OptimizationTarget
+from repro.core.solvecache import (
+    CACHE_VERSION,
+    SolveCache,
+    metrics_from_dict,
+    metrics_to_dict,
+    solve_key,
+)
+from repro.core.optimizer import optimize
+from repro.tech.cells import CellTech
+from repro.tech.nodes import technology
+
+TECH = technology(32)
+
+SPEC = ArraySpec(
+    capacity_bits=8 * (64 << 10),
+    output_bits=512,
+    assoc=8,
+    cell_tech=CellTech.SRAM,
+    periph_device_type="hp-long-channel",
+)
+
+TARGET = OptimizationTarget()
+
+
+@pytest.fixture(scope="module")
+def best():
+    return optimize(TECH, SPEC, TARGET)
+
+
+class TestSerialization:
+    def test_round_trip_identity(self, best):
+        assert metrics_from_dict(metrics_to_dict(best)) == best
+
+    def test_json_round_trip_identity(self, best):
+        """Floats survive JSON encoding bit-exactly (shortest repr)."""
+        blob = json.dumps(metrics_to_dict(best))
+        assert metrics_from_dict(json.loads(blob)) == best
+
+
+class TestSolveKey:
+    def test_stable(self):
+        assert solve_key(SPEC, TARGET, 32.0) == solve_key(SPEC, TARGET, 32.0)
+
+    def test_sensitive_to_every_input(self):
+        base = solve_key(SPEC, TARGET, 32.0)
+        assert solve_key(SPEC, TARGET, 45.0) != base
+        other_target = OptimizationTarget(max_area_fraction=0.1)
+        assert solve_key(SPEC, other_target, 32.0) != base
+        import dataclasses
+
+        other_spec = dataclasses.replace(SPEC, output_bits=256)
+        assert solve_key(other_spec, TARGET, 32.0) != base
+
+
+class TestSolveCache:
+    def test_put_get(self, tmp_path, best):
+        cache = SolveCache(tmp_path / "c.json")
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        cache.put(SPEC, TARGET, 32.0, best)
+        assert cache.get(SPEC, TARGET, 32.0) == best
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_persists_across_instances(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        assert SolveCache(path).get(SPEC, TARGET, 32.0) == best
+
+    def test_missing_file_is_empty(self, tmp_path):
+        cache = SolveCache(tmp_path / "nope" / "c.json")
+        assert len(cache) == 0
+
+    def test_corrupt_file_is_empty(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        path.write_text("{ this is not json")
+        cache = SolveCache(path)
+        assert len(cache) == 0
+        # And still usable for writes afterwards.
+        cache.put(SPEC, TARGET, 32.0, best)
+        assert SolveCache(path).get(SPEC, TARGET, 32.0) == best
+
+    def test_version_mismatch_discards_records(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        payload = json.loads(path.read_text())
+        payload["version"] = "some-older-version"
+        path.write_text(json.dumps(payload))
+        assert len(SolveCache(path)) == 0
+
+    def test_version_stamp_written(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        assert json.loads(path.read_text())["version"] == CACHE_VERSION
+
+    def test_truncated_record_is_a_miss(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["records"]))
+        del payload["records"][key]["rows"]
+        path.write_text(json.dumps(payload))
+        assert SolveCache(path).get(SPEC, TARGET, 32.0) is None
