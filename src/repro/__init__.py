@@ -30,6 +30,7 @@ from repro.core import (
     SolveCache,
     SweepStats,
     solve,
+    solve_batch,
     solve_main_memory,
 )
 from repro.tech import CellTech, technology
@@ -49,6 +50,7 @@ __all__ = [
     "SolveCache",
     "SweepStats",
     "solve",
+    "solve_batch",
     "solve_main_memory",
     "technology",
     "__version__",

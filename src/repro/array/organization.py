@@ -24,6 +24,11 @@ import math
 from dataclasses import dataclass
 from functools import cached_property
 
+try:  # numpy powers the vectorized grid pre-filter; optional at runtime.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallback
+    _np = None
+
 from repro.array.htree import HTree, design_htree
 from repro.array.mat import mats_in_bank
 from repro.array.subarray import InfeasibleSubarray, Subarray
@@ -700,6 +705,91 @@ def enumerate_feasible_orgs(
                                 sense_amps_per_sub=sensed_per_sub,
                             ),
                         )
+
+
+def prefilter_grid(
+    spec: ArraySpec,
+    max_ndwl: int = 64,
+    max_ndbl: int = 64,
+    nspd_values: tuple[float, ...] | None = None,
+    max_mux: int | None = None,
+) -> list[tuple[OrgParams, OrgGeometry]]:
+    """Vectorized structural pre-filter over the entire candidate grid.
+
+    Evaluates every feasibility expression of :func:`derive_geometry` --
+    integral rows/columns, row/column ranges, the 512-row DRAM bitline
+    sensing limit, mux divisibility, active-subarray and way-select
+    counts, page matching -- as one numpy batch over the full
+    (ndwl, ndbl, nspd, ndcm, ndsam) grid, instead of per-candidate
+    Python calls.  Returns exactly what ``list(enumerate_feasible_orgs(
+    spec, ...))`` returns: the same survivors, in the same enumeration
+    order (ranking ties break by that order), with the same geometries.
+    Falls back to the scalar enumeration when numpy is unavailable.
+
+    The arithmetic is float64/int64, the same IEEE-754 operations the
+    scalar path performs, so the integrality tests agree bit for bit.
+    """
+    if _np is None:
+        return list(
+            enumerate_feasible_orgs(
+                spec, max_ndwl, max_ndbl, nspd_values, max_mux
+            )
+        )
+    axes = _org_grid(spec, max_ndwl, max_ndbl, nspd_values, max_mux)
+    ndwls, ndbls, nspds, ndcms, ndsams = axes
+    is_dram = spec.cell_tech.is_dram
+    # C-order ravel of an 'ij' meshgrid iterates the last axis fastest,
+    # matching the nested loop order of enumerate_feasible_orgs.
+    w, b, s, c, m = (
+        g.ravel()
+        for g in _np.meshgrid(
+            _np.asarray(ndwls, dtype=_np.int64),
+            _np.asarray(ndbls, dtype=_np.int64),
+            _np.asarray(nspds, dtype=_np.float64),
+            _np.asarray(ndcms, dtype=_np.int64),
+            _np.asarray(ndsams, dtype=_np.int64),
+            indexing="ij",
+        )
+    )
+    rows_f = spec.sets_per_bank / (b * s)
+    cols_f = spec.output_bits * spec.assoc * s / w
+    ok = (rows_f == _np.floor(rows_f)) & (cols_f == _np.floor(cols_f))
+    # Non-integral entries are already masked out; clamp them to an
+    # in-range value so the integer conversion cannot overflow.
+    rows = _np.where(ok, rows_f, MIN_ROWS).astype(_np.int64)
+    cols = _np.where(ok, cols_f, MIN_COLS).astype(_np.int64)
+    ok &= (rows >= MIN_ROWS) & (rows <= MAX_ROWS)
+    if is_dram:
+        ok &= rows <= MAX_DRAM_ROWS
+    ok &= (cols >= MIN_COLS) & (cols <= MAX_COLS)
+    mux = c * m
+    ok &= cols % mux == 0
+    out_per_sub = cols // mux
+    ok &= out_per_sub > 0
+    nact = -(-spec.output_bits // _np.maximum(out_per_sub, 1))
+    ok &= nact <= w
+    if spec.assoc > 1:
+        ok &= mux >= spec.assoc
+    sensed_per_sub = cols if is_dram else cols // c
+    sensed_bits = nact * sensed_per_sub
+    if spec.page_bits is not None:
+        if not is_dram:
+            ok &= False
+        else:
+            ok &= sensed_bits == spec.page_bits
+    return [
+        (
+            OrgParams(int(w[i]), int(b[i]), float(s[i]), int(c[i]), int(m[i])),
+            OrgGeometry(
+                rows=int(rows[i]),
+                cols=int(cols[i]),
+                nact=int(nact[i]),
+                sensed_bits=int(sensed_bits[i]),
+                sense_amps_per_sub=int(sensed_per_sub[i]),
+            ),
+        )
+        for i in _np.nonzero(ok)[0]
+    ]
 
 
 def _powers_up_to(limit: int) -> tuple[int, ...]:

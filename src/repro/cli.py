@@ -111,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="print optimizer sweep statistics (candidate counts, "
                  "cache hit rates, wall time)",
         )
+        solver.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the candidate sweep (1 = serial, "
+                 "0 = all cores); results are bit-identical at any N",
+        )
 
     sub.add_parser("validate-ddr3",
                    help="reproduce the paper's Table 2 validation")
@@ -147,7 +152,11 @@ def _run_cache(args: argparse.Namespace) -> int:
     )
     solve_cache, stats = _solver_knobs(args)
     solution = solve(
-        spec, _PRESETS[args.optimize], solve_cache=solve_cache, stats=stats
+        spec,
+        _PRESETS[args.optimize],
+        solve_cache=solve_cache,
+        stats=stats,
+        jobs=args.jobs,
     )
     print(solution.summary())
     _print_stats(stats)
@@ -164,7 +173,11 @@ def _run_main_memory(args: argparse.Namespace) -> int:
     )
     solve_cache, stats = _solver_knobs(args)
     solution = solve_main_memory(
-        spec, node_nm=args.node, solve_cache=solve_cache, stats=stats
+        spec,
+        node_nm=args.node,
+        solve_cache=solve_cache,
+        stats=stats,
+        jobs=args.jobs,
     )
     print(solution.summary())
     _print_stats(stats)

@@ -5,6 +5,7 @@ from repro.core.cacti import (
     MainMemorySolution,
     data_array_spec,
     solve,
+    solve_batch,
     solve_main_memory,
     tag_array_spec,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "pareto_solutions",
     "rank",
     "solve",
+    "solve_batch",
     "solve_main_memory",
     "tag_array_spec",
 ]

@@ -5,17 +5,27 @@ Entry points:
 * :func:`solve` -- solve a cache or plain memory described by a
   :class:`~repro.core.config.MemorySpec`; caches get a tag array solved
   alongside the data array and composed per the access mode.
+* :func:`solve_batch` -- solve many independent specs, optionally
+  across worker processes, sharing one persistent solve cache.
 * :func:`solve_main_memory` -- solve a commodity main-memory DRAM chip
   described by a :class:`~repro.array.mainmem.MainMemorySpec`, returning
   the datasheet-style timing interface and per-command energies.
 * :class:`CactiD` -- a small facade caching the technology object across
   solves at one node.
+
+Every entry point takes ``jobs``: ``1`` (the default) is the plain
+serial path, ``N > 1`` fans work out over ``N`` worker processes, and
+``<= 0`` means all available cores.  Results are bit-identical at any
+job count -- parallelism only changes wall time.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Sequence
 
 from repro.array.mainmem import (
     MainMemoryEnergies,
@@ -30,6 +40,7 @@ from repro.core.config import (
     MemorySpec,
     OptimizationTarget,
 )
+from repro.core import parallel
 from repro.core.optimizer import SweepStats, optimize
 from repro.core.results import Solution
 from repro.core.solvecache import SolveCache
@@ -86,6 +97,7 @@ def solve(
     eval_cache: EvalCache | None = None,
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
+    jobs: int = 1,
 ) -> Solution:
     """Solve ``spec``, returning the optimizer's best design point.
 
@@ -93,7 +105,8 @@ def solve(
     (a fresh one spanning the data and tag sweeps is created when
     omitted); ``solve_cache`` short-circuits whole repeated solves from
     disk; ``stats`` accumulates :class:`~repro.core.optimizer.SweepStats`
-    counters.  None of them changes the returned numbers.
+    counters; ``jobs`` parallelizes candidate construction inside each
+    array sweep.  None of them changes the returned numbers.
     """
     target = target or OptimizationTarget()
     tech = technology(spec.node_nm)
@@ -106,6 +119,7 @@ def solve(
         eval_cache=eval_cache,
         solve_cache=solve_cache,
         stats=stats,
+        jobs=jobs,
     )
     tag = None
     if spec.is_cache:
@@ -116,8 +130,99 @@ def solve(
             eval_cache=eval_cache,
             solve_cache=solve_cache,
             stats=stats,
+            jobs=jobs,
         )
     return Solution(spec=spec, data=data, tag=tag)
+
+
+def _solve_batch_task(payload: tuple) -> tuple[Solution, dict]:
+    """Worker task: one full spec solve with worker-local caches.
+
+    The worker opens its own :class:`SolveCache` on the shared path
+    (safe: saves are atomic and merge concurrently-written records) and
+    ships its :class:`SweepStats` home as a plain dict.
+    """
+    spec, target, cache_path = payload
+    stats = SweepStats()
+    solve_cache = SolveCache(cache_path) if cache_path is not None else None
+    solution = solve(
+        spec,
+        target,
+        eval_cache=parallel.worker_eval_cache(),
+        solve_cache=solve_cache,
+        stats=stats,
+    )
+    return solution, stats.as_dict()
+
+
+def solve_batch(
+    specs: Sequence[MemorySpec],
+    target: OptimizationTarget | Sequence[OptimizationTarget] | None = None,
+    *,
+    eval_cache: EvalCache | None = None,
+    solve_cache: SolveCache | None = None,
+    stats: SweepStats | None = None,
+    jobs: int = 1,
+) -> list[Solution]:
+    """Solve independent specs, returning solutions in spec order.
+
+    ``target`` is one target for the whole batch or a sequence matching
+    ``specs``.  With ``jobs > 1`` the specs are solved concurrently in
+    worker processes; each worker shares the persistent ``solve_cache``
+    by path (atomic merge-on-save writes make concurrent writers safe)
+    and ships its sweep stats back for absorption into ``stats``.  The
+    returned solutions are bit-identical to the serial path at any job
+    count.
+    """
+    specs = list(specs)
+    if target is None or isinstance(target, OptimizationTarget):
+        targets = [target] * len(specs)
+    else:
+        targets = list(target)
+        if len(targets) != len(specs):
+            raise ValueError(
+                f"{len(specs)} specs but {len(targets)} targets"
+            )
+    jobs = parallel.resolve_jobs(jobs)
+    t0 = time.perf_counter()
+    if jobs == 1 or len(specs) <= 1:
+        # Serial: one EvalCache spans the whole batch, so repeated
+        # subarray/H-tree problems are solved once across specs.
+        if eval_cache is None:
+            eval_cache = EvalCache()
+        solutions = [
+            solve(
+                spec,
+                tgt,
+                eval_cache=eval_cache,
+                solve_cache=solve_cache,
+                stats=stats,
+            )
+            for spec, tgt in zip(specs, targets)
+        ]
+    else:
+        cache_path = (
+            os.fspath(solve_cache.path) if solve_cache is not None else None
+        )
+        results = parallel.parallel_map(
+            _solve_batch_task,
+            [
+                (spec, tgt, cache_path)
+                for spec, tgt in zip(specs, targets)
+            ],
+            jobs,
+        )
+        solutions = []
+        for solution, worker_stats in results:
+            solutions.append(solution)
+            if stats is not None:
+                stats.absorb_worker(worker_stats)
+        if solve_cache is not None:
+            # Pick up the records the workers just wrote to disk.
+            solve_cache.refresh()
+    if stats is not None:
+        stats.add_phase_time("batch", time.perf_counter() - t0)
+    return solutions
 
 
 @dataclass(frozen=True)
@@ -167,6 +272,7 @@ def solve_main_memory(
     eval_cache: EvalCache | None = None,
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
+    jobs: int = 1,
 ) -> MainMemorySolution:
     """Solve a main-memory DRAM chip at ``node_nm``.
 
@@ -183,6 +289,7 @@ def solve_main_memory(
         eval_cache=eval_cache,
         solve_cache=solve_cache,
         stats=stats,
+        jobs=jobs,
     )
     timing = derive_timing(spec, metrics, clock_period)
     vdd_cell = tech.cell(
@@ -218,18 +325,44 @@ class CactiD:
         return technology(self.node_nm)
 
     def solve(
-        self, spec: MemorySpec, target: OptimizationTarget | None = None
+        self,
+        spec: MemorySpec,
+        target: OptimizationTarget | None = None,
+        jobs: int = 1,
     ) -> Solution:
-        if spec.node_nm != self.node_nm:
-            raise ValueError(
-                f"spec is at {spec.node_nm} nm, facade at {self.node_nm} nm"
-            )
+        self._check_node(spec)
         return solve(
             spec,
             target,
             eval_cache=self.eval_cache,
             solve_cache=self.solve_cache,
             stats=self.stats,
+            jobs=jobs,
+        )
+
+    def solve_batch(
+        self,
+        specs: Sequence[MemorySpec],
+        target: (
+            OptimizationTarget | Sequence[OptimizationTarget] | None
+        ) = None,
+        jobs: int = 1,
+    ) -> list[Solution]:
+        """Solve many specs at this node, optionally across processes.
+
+        Serial batches reuse the facade's EvalCache; parallel batches
+        share the facade's persistent solve cache by path, and every
+        worker's sweep counters land in ``self.stats``.
+        """
+        for spec in specs:
+            self._check_node(spec)
+        return solve_batch(
+            specs,
+            target,
+            eval_cache=self.eval_cache,
+            solve_cache=self.solve_cache,
+            stats=self.stats,
+            jobs=jobs,
         )
 
     def solve_main_memory(
@@ -237,6 +370,7 @@ class CactiD:
         spec: MainMemorySpec,
         target: OptimizationTarget | None = None,
         clock_period: float = 0.0,
+        jobs: int = 1,
     ) -> MainMemorySolution:
         return solve_main_memory(
             spec,
@@ -246,4 +380,11 @@ class CactiD:
             eval_cache=self.eval_cache,
             solve_cache=self.solve_cache,
             stats=self.stats,
+            jobs=jobs,
         )
+
+    def _check_node(self, spec: MemorySpec) -> None:
+        if spec.node_nm != self.node_nm:
+            raise ValueError(
+                f"spec is at {spec.node_nm} nm, facade at {self.node_nm} nm"
+            )

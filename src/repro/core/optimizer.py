@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.array.organization import (
@@ -37,11 +38,12 @@ from repro.array.organization import (
     InfeasibleOrganization,
     InfeasibleSubarray,
     build_organization,
-    enumerate_feasible_orgs,
     enumerate_orgs,
     org_grid_size,
+    prefilter_grid,
     prefilter_org,
 )
+from repro.core import parallel
 from repro.core.config import OptimizationTarget
 from repro.tech.nodes import Technology
 
@@ -70,7 +72,25 @@ class SweepStats:
     solve_cache_hits: int = 0  #: whole solves served from the disk cache
     solve_cache_misses: int = 0
     wall_time_s: float = 0.0  #: total optimizer wall time
+    worker_time_s: float = 0.0  #: wall time summed across worker processes
+    workers_absorbed: int = 0  #: worker stats payloads merged in
+    phase_times: dict = field(default_factory=dict)  #: named phase timers
     _eval_marks: dict = field(default_factory=dict, repr=False)
+
+    #: Counter fields summable across worker payloads.
+    _ABSORBABLE = (
+        "enumerated",
+        "prefiltered",
+        "built",
+        "infeasible_at_build",
+        "feasible",
+        "subarray_hits",
+        "subarray_misses",
+        "htree_hits",
+        "htree_misses",
+        "solve_cache_hits",
+        "solve_cache_misses",
+    )
 
     @property
     def prefilter_rate(self) -> float:
@@ -103,6 +123,9 @@ class SweepStats:
             "subarray_hit_rate": self.subarray_hit_rate,
             "htree_hit_rate": self.htree_hit_rate,
             "wall_time_s": self.wall_time_s,
+            "worker_time_s": self.worker_time_s,
+            "workers_absorbed": self.workers_absorbed,
+            "phase_times": dict(self.phase_times),
         }
 
     def summary(self) -> str:
@@ -124,9 +147,51 @@ class SweepStats:
             f"{self.solve_cache_misses} misses",
             f"wall time             : {self.wall_time_s * 1e3:.1f} ms",
         ]
+        if self.workers_absorbed:
+            lines.append(
+                f"workers               : {self.workers_absorbed} payloads, "
+                f"{self.worker_time_s * 1e3:.1f} ms worker wall time"
+            )
+        for name, seconds in self.phase_times.items():
+            lines.append(f"phase {name:<16}: {seconds * 1e3:.1f} ms")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        """Accumulate wall time into the named phase timer."""
+        self.phase_times[name] = self.phase_times.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one phase of a sweep by wall clock."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_phase_time(name, time.perf_counter() - t0)
+
+    def absorb_worker(self, payload: dict) -> None:
+        """Merge a stats payload shipped back from a worker process.
+
+        Accepts either a per-chunk delta dict (from the parallel build
+        loop) or a full ``as_dict()`` snapshot of a worker-side
+        SweepStats (from batch solves).  Unknown keys -- derived rates,
+        pids -- are ignored; worker wall time lands in
+        ``worker_time_s``, never ``wall_time_s``, so the parent's own
+        wall clock stays meaningful.
+        """
+        for name in self._ABSORBABLE:
+            value = payload.get(name, 0)
+            if value:
+                setattr(self, name, getattr(self, name) + value)
+        self.worker_time_s += payload.get(
+            "worker_wall_time_s", payload.get("wall_time_s", 0.0)
+        )
+        self.worker_time_s += payload.get("worker_time_s", 0.0)
+        for name, seconds in (payload.get("phase_times") or {}).items():
+            self.add_phase_time(name, seconds)
+        self.workers_absorbed += 1 + payload.get("workers_absorbed", 0)
 
     def _mark_eval_cache(self, cache: EvalCache) -> None:
         """Remember the cache's counters so deltas can be accumulated."""
@@ -146,6 +211,16 @@ class SweepStats:
         self.htree_misses += cache.htree_misses - hm0
 
 
+@contextmanager
+def _maybe_phase(stats: SweepStats | None, name: str):
+    """Time a phase when stats are collected; no-op otherwise."""
+    if stats is None:
+        yield
+    else:
+        with stats.phase(name):
+            yield
+
+
 def feasible_designs(
     tech: Technology,
     spec: ArraySpec,
@@ -154,22 +229,50 @@ def feasible_designs(
     cache: EvalCache | None = None,
     stats: SweepStats | None = None,
     prefilter: bool = True,
+    jobs: int = 1,
 ) -> list[ArrayMetrics]:
     """Evaluate every feasible partitioning of ``spec``.
 
     ``prefilter=False`` disables the cheap structural pre-filter and
     forces full construction of every candidate (the naive path, kept for
     equivalence testing); ``cache`` shares circuit designs across
-    candidates.  Neither affects the returned metrics.
+    candidates; ``jobs > 1`` shards the surviving candidates across
+    worker processes (worker-local caches, candidate-order-preserving
+    merge) with ``jobs=1`` the plain serial path.  None of them affects
+    the returned metrics: the design list is bit-identical in every
+    mode, including its order.
     """
     if stats is not None and cache is not None:
         stats._mark_eval_cache(cache)
     designs = []
-    if orgs is None and prefilter:
-        # Fast path: the structural pre-filter is fused into enumeration,
-        # so rejected tuples cost a few arithmetic ops and no objects.
-        candidates = enumerate_feasible_orgs(spec)
+    if orgs is None and prefilter and jobs != 1:
+        # Parallel path: batch-prefilter the whole grid, shard the
+        # survivors into contiguous chunks, merge in candidate order.
+        t0 = time.perf_counter()
+        candidates = prefilter_grid(spec)
+        if stats is not None:
+            stats.add_phase_time("prefilter", time.perf_counter() - t0)
+        with _maybe_phase(stats, "build"):
+            designs, worker_stats = parallel.build_designs_parallel(
+                tech.node_nm, spec, candidates, jobs
+            )
+        if stats is not None:
+            grid = org_grid_size(spec)
+            stats.enumerated += grid
+            stats.prefiltered += grid - len(candidates)
+            for payload in worker_stats:
+                stats.absorb_worker(payload)
+    elif orgs is None and prefilter:
+        # Serial fast path: the structural pre-filter runs as one
+        # vectorized batch over the grid (scalar fused enumeration when
+        # numpy is missing), so rejected tuples cost a few arithmetic
+        # ops and no objects.
+        t0 = time.perf_counter()
+        candidates = prefilter_grid(spec)
+        if stats is not None:
+            stats.add_phase_time("prefilter", time.perf_counter() - t0)
         built = 0
+        t0 = time.perf_counter()
         for org, geometry in candidates:
             built += 1
             try:
@@ -183,6 +286,7 @@ def feasible_designs(
                     stats.infeasible_at_build += 1
                 continue
         if stats is not None:
+            stats.add_phase_time("build", time.perf_counter() - t0)
             grid = org_grid_size(spec)
             stats.enumerated += grid
             stats.prefiltered += grid - built
@@ -279,6 +383,7 @@ def optimize(
     eval_cache: EvalCache | None = None,
     solve_cache=None,
     stats: SweepStats | None = None,
+    jobs: int = 1,
 ) -> ArrayMetrics:
     """Full pipeline: enumerate, filter, rank; return the best design.
 
@@ -286,7 +391,9 @@ def optimize(
     is created per call when omitted); ``solve_cache`` is an optional
     :class:`~repro.core.solvecache.SolveCache` consulted before -- and
     updated after -- the sweep; ``stats`` accumulates
-    :class:`SweepStats` counters in place.
+    :class:`SweepStats` counters in place; ``jobs`` spreads candidate
+    construction over worker processes (``1`` = serial, ``<= 0`` = all
+    cores) without changing any returned number.
     """
     t0 = time.perf_counter()
     if solve_cache is not None:
@@ -301,8 +408,11 @@ def optimize(
     if eval_cache is None:
         eval_cache = EvalCache()
     swept = _with_repeater_penalty(spec, target)
-    designs = feasible_designs(tech, swept, cache=eval_cache, stats=stats)
-    best = rank(filter_constraints(designs, target), target)[0]
+    designs = feasible_designs(
+        tech, swept, cache=eval_cache, stats=stats, jobs=jobs
+    )
+    with _maybe_phase(stats, "rank"):
+        best = rank(filter_constraints(designs, target), target)[0]
     if solve_cache is not None:
         solve_cache.put(spec, target, tech.node_nm, best)
     if stats is not None:
@@ -317,6 +427,7 @@ def pareto_solutions(
     *,
     eval_cache: EvalCache | None = None,
     stats: SweepStats | None = None,
+    jobs: int = 1,
 ) -> list[ArrayMetrics]:
     """All constraint-satisfying designs, ranked -- the solution cloud the
     paper plots in its Figure 1 validation bubbles."""
@@ -324,7 +435,9 @@ def pareto_solutions(
     if eval_cache is None:
         eval_cache = EvalCache()
     spec = _with_repeater_penalty(spec, target)
-    designs = feasible_designs(tech, spec, cache=eval_cache, stats=stats)
+    designs = feasible_designs(
+        tech, spec, cache=eval_cache, stats=stats, jobs=jobs
+    )
     ranked = rank(filter_constraints(designs, target), target)
     if stats is not None:
         stats.wall_time_s += time.perf_counter() - t0

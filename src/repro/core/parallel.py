@@ -1,0 +1,193 @@
+"""Multi-process batch execution engine for design-space sweeps.
+
+CACTI-D's value is sweeping *many* configurations: the full
+(ndwl, ndbl, nspd, ndcm, ndsam) grid inside one solve, batches of
+independent solves across a study matrix, and sensitivity sweeps around
+a base point.  All three are embarrassingly parallel, and this module
+gives them one engine:
+
+* :func:`parallel_map` -- an order-preserving ``ProcessPoolExecutor``
+  map with a worker initializer that installs a worker-local
+  :class:`~repro.array.organization.EvalCache`;
+* :func:`chunk_evenly` -- deterministic, contiguous, order-preserving
+  sharding of a candidate list;
+* :func:`build_designs_parallel` -- the optimizer's inner loop: shards
+  surviving candidates into chunks, evaluates each chunk in a worker
+  with that worker's cache, and merges results in candidate order.
+
+Determinism is the contract.  Chunks are contiguous slices merged back
+in submission order, so the concatenated design list is *identical* --
+same designs, same order -- to the serial sweep, and ranking tie-breaks
+(which resolve by enumeration order) are bit-identical.  Worker-local
+eval caches cannot change numbers either: cached and uncached
+construction produce the same frozen objects performing the same
+computations.
+
+Workers ship their counters home as plain dicts (picklable, no shared
+state), which the parent absorbs into its
+:class:`~repro.core.optimizer.SweepStats` via ``absorb_worker``.
+``jobs=1`` everywhere falls back to the plain serial path with no
+executor, no forks, and no pickling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+#: Target chunks per worker: smaller chunks load-balance across workers,
+#: larger chunks amortize task pickling overhead.
+OVERSUBSCRIBE = 4
+
+#: Worker-local cross-candidate cache, created by the pool initializer
+#: (one per worker process, reused across every chunk that worker runs).
+_WORKER_EVAL_CACHE = None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` or a non-positive count means "all available cores"
+    (respecting CPU affinity where the platform exposes it); any
+    positive count is taken literally.
+    """
+    if jobs is None or jobs <= 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    return int(jobs)
+
+
+def chunk_evenly(
+    items: Sequence, jobs: int, oversubscribe: int = OVERSUBSCRIBE
+) -> list[list]:
+    """Shard ``items`` into contiguous, order-preserving chunks.
+
+    Produces about ``jobs * oversubscribe`` equal slices (never empty
+    ones), so stragglers rebalance while concatenating the per-chunk
+    results in chunk order reproduces the input order exactly.
+    """
+    items = list(items)
+    if not items:
+        return []
+    nchunks = min(len(items), max(1, jobs * oversubscribe))
+    size = -(-len(items) // nchunks)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _init_worker() -> None:
+    global _WORKER_EVAL_CACHE
+    from repro.array.organization import EvalCache
+
+    _WORKER_EVAL_CACHE = EvalCache()
+
+
+def worker_eval_cache():
+    """The calling process's worker-local EvalCache (created on demand,
+    so worker task functions also run unchanged in the parent)."""
+    if _WORKER_EVAL_CACHE is None:
+        _init_worker()
+    return _WORKER_EVAL_CACHE
+
+
+def parallel_map(fn: Callable, payloads: Sequence, jobs: int) -> list:
+    """Order-preserving map over worker processes.
+
+    ``jobs=1`` (or a single payload) runs ``fn`` serially in-process --
+    no executor, no pickling.  Results always come back in payload
+    order, never completion order, so downstream merges are
+    deterministic.  A worker exception propagates to the caller.
+    """
+    payloads = list(payloads)
+    jobs = min(resolve_jobs(jobs), len(payloads))
+    if jobs <= 1:
+        return [fn(p) for p in payloads]
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker
+    ) as pool:
+        return list(pool.map(fn, payloads))
+
+
+# --------------------------------------------------------------------- #
+# The optimizer's parallel inner loop.
+
+
+def _eval_chunk(payload: tuple) -> tuple[list, dict]:
+    """Worker task: build every candidate of one chunk.
+
+    Returns the feasible :class:`~repro.array.organization.ArrayMetrics`
+    in candidate order plus a stats payload (counter deltas of this
+    chunk only, so the parent can sum payloads without double counting).
+    """
+    from repro.array.organization import (
+        InfeasibleOrganization,
+        InfeasibleSubarray,
+        build_organization,
+    )
+    from repro.tech.nodes import technology
+
+    node_nm, spec, chunk = payload
+    t0 = time.perf_counter()
+    cache = worker_eval_cache()
+    tech = technology(node_nm)
+    before = (
+        cache.subarray_hits,
+        cache.subarray_misses,
+        cache.htree_hits,
+        cache.htree_misses,
+    )
+    designs = []
+    infeasible = 0
+    for org, geometry in chunk:
+        try:
+            designs.append(
+                build_organization(
+                    tech, spec, org, cache=cache, geometry=geometry
+                )
+            )
+        except (InfeasibleOrganization, InfeasibleSubarray):
+            infeasible += 1
+    after = (
+        cache.subarray_hits,
+        cache.subarray_misses,
+        cache.htree_hits,
+        cache.htree_misses,
+    )
+    deltas = [now - then for now, then in zip(after, before)]
+    stats = {
+        "built": len(chunk),
+        "infeasible_at_build": infeasible,
+        "subarray_hits": deltas[0],
+        "subarray_misses": deltas[1],
+        "htree_hits": deltas[2],
+        "htree_misses": deltas[3],
+        "worker_wall_time_s": time.perf_counter() - t0,
+        "pid": os.getpid(),
+    }
+    return designs, stats
+
+
+def build_designs_parallel(
+    node_nm: float, spec, candidates: Sequence, jobs: int
+) -> tuple[list, list[dict]]:
+    """Evaluate pre-filtered ``(OrgParams, OrgGeometry)`` candidates
+    across worker processes.
+
+    Returns the feasible designs *in candidate order* (chunks are
+    contiguous and merged in submission order) and the per-chunk worker
+    stats payloads.  Workers rebuild the (lru-cached) technology object
+    from ``node_nm`` rather than unpickling it.
+    """
+    chunks = chunk_evenly(candidates, jobs)
+    out = parallel_map(
+        _eval_chunk, [(node_nm, spec, chunk) for chunk in chunks], jobs
+    )
+    designs: list = []
+    stats_payloads: list[dict] = []
+    for chunk_designs, chunk_stats in out:
+        designs.extend(chunk_designs)
+        stats_payloads.append(chunk_stats)
+    return designs, stats_payloads

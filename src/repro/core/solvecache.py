@@ -84,8 +84,14 @@ class SolveCache:
     Opt-in: pass a path to :class:`~repro.core.cacti.CactiD` via
     ``cache_path`` or to the CLI via ``--cache``.  Unreadable, corrupt,
     or version-mismatched files are treated as empty, never as errors.
-    Writes are write-through and atomic (temp file + rename), so a
-    killed process cannot corrupt the records.
+
+    Safe to share one path across processes (the batch-solve engine
+    does): every save first re-reads the file and merges its records
+    with the in-memory ones, then writes through a uniquely-named temp
+    file in the same directory and ``os.replace``s it into place.  A
+    killed process cannot corrupt the records, and two concurrent
+    writers cannot truncate each other's entries -- the last replace
+    wins with the union of both record sets.
     """
 
     def __init__(self, path: str | os.PathLike):
@@ -137,9 +143,27 @@ class SolveCache:
         )
         self._save()
 
+    def refresh(self) -> None:
+        """Merge records another process has written since we loaded.
+
+        In-memory records win key conflicts, which is harmless: solves
+        are deterministic, so two processes writing the same key wrote
+        the same record.
+        """
+        self._records = {**self._load(), **self._records}
+
     def _save(self) -> None:
+        # Load-before-save: tolerate a concurrently-updated file by
+        # taking the union of its records and ours.
+        self.refresh()
         payload = {"version": CACHE_VERSION, "records": self._records}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(self.path)
+        # The temp name carries the pid so two processes sharing one
+        # cache path never write the same temp file; os.replace is
+        # atomic on POSIX and Windows.
+        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)

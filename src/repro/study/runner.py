@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import partial
 
+from repro.core import parallel
 from repro.power.hierarchy import PowerBreakdown, hierarchy_power
 from repro.power.system import SystemPower, scaled_core_power
 from repro.sim.stats import SimStats
@@ -134,6 +135,41 @@ def run_one(
     )
 
 
+#: Per-process memo of built configurations and energy models, so a
+#: worker builds each configuration once no matter how many apps it
+#: simulates (the serial path gets the same reuse via the dicts below).
+_TASK_CONFIGS: dict = {}
+_TASK_ENERGY_MODELS: dict = {}
+
+
+def _run_one_task(payload: tuple) -> RunResult:
+    """Worker task: one (application, configuration) cell of the matrix.
+
+    Simulation is fully seeded, so the result is identical no matter
+    which process runs the cell.
+    """
+    profile, config_name, source, scale, seed = payload
+    config_key = (config_name, source, scale)
+    config = _TASK_CONFIGS.get(config_key)
+    if config is None:
+        config = build_system_config(config_name, source=source, scale=scale)
+        _TASK_CONFIGS[config_key] = config
+    energy_key = (config_name, source)
+    energy_model = _TASK_ENERGY_MODELS.get(energy_key)
+    if energy_model is None:
+        energy_model = build_energy_model(config_name, source=source)
+        _TASK_ENERGY_MODELS[energy_key] = energy_model
+    return run_one(
+        profile,
+        config_name,
+        source=source,
+        scale=scale,
+        seed=seed,
+        config=config,
+        energy_model=energy_model,
+    )
+
+
 def run_study(
     profiles: tuple[WorkloadProfile, ...] = NPB_PROFILES,
     configs: tuple[str, ...] = CONFIG_NAMES,
@@ -141,34 +177,32 @@ def run_study(
     scale: int = DEFAULT_SCALE,
     instructions_per_thread: int | None = None,
     seed: int = 1234,
+    jobs: int = 1,
 ) -> StudyResult:
     """Run the full study matrix.
 
     Each configuration (and its energy model, which may invoke the
-    CACTI-D solver when ``source="cacti"``) is built once and shared
-    across all applications.
+    CACTI-D solver when ``source="cacti"``) is built once per process
+    and shared across all applications.  ``jobs > 1`` runs the
+    app x config cells concurrently in worker processes; every cell's
+    simulation is seeded, so the matrix is identical at any job count.
     """
-    built_configs = {
-        name: build_system_config(name, source=source, scale=scale)
-        for name in configs
+    if instructions_per_thread is not None:
+        profiles = tuple(
+            p.with_instructions(instructions_per_thread) for p in profiles
+        )
+    payloads = [
+        (profile, config_name, source, scale, seed)
+        for profile in profiles
+        for config_name in configs
+    ]
+    outcomes = parallel.parallel_map(_run_one_task, payloads, jobs)
+    results = {
+        (profile.name, config_name): result
+        for (profile, config_name, _, _, _), result in zip(
+            payloads, outcomes
+        )
     }
-    energy_models = {
-        name: build_energy_model(name, source=source) for name in configs
-    }
-    results: dict[tuple[str, str], RunResult] = {}
-    for profile in profiles:
-        if instructions_per_thread is not None:
-            profile = profile.with_instructions(instructions_per_thread)
-        for config_name in configs:
-            results[(profile.name, config_name)] = run_one(
-                profile,
-                config_name,
-                source=source,
-                scale=scale,
-                seed=seed,
-                config=built_configs[config_name],
-                energy_model=energy_models[config_name],
-            )
     return StudyResult(
         results=results,
         config_names=tuple(configs),

@@ -11,13 +11,17 @@ plus local elasticities (d log(metric) / d log(input)).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
+from repro.array.organization import EvalCache
+from repro.core import parallel
 from repro.core.cacti import solve
 from repro.core.config import MemorySpec, OptimizationTarget
-from repro.core.optimizer import NoFeasibleSolution
+from repro.core.optimizer import NoFeasibleSolution, SweepStats
 from repro.core.results import Solution
+from repro.core.solvecache import SolveCache
 
 #: Metrics extracted from each solved point.
 METRICS: dict[str, Callable[[Solution], float]] = {
@@ -100,38 +104,125 @@ class SensitivityResult:
         return "\n".join(lines)
 
 
+def _sweep_point_task(payload: tuple) -> tuple[Solution | None, dict]:
+    """Worker task: solve one sweep point, shipping stats home.
+
+    Returns ``(None, stats)`` for an infeasible point, mirroring the
+    serial path's treatment.
+    """
+    spec, target, cache_path = payload
+    stats = SweepStats()
+    solve_cache = SolveCache(cache_path) if cache_path is not None else None
+    try:
+        solution = solve(
+            spec,
+            target,
+            eval_cache=parallel.worker_eval_cache(),
+            solve_cache=solve_cache,
+            stats=stats,
+        )
+    except (NoFeasibleSolution, ValueError):
+        solution = None
+    return solution, stats.as_dict()
+
+
 def sweep(
     base: MemorySpec,
     parameter: str,
     values: Sequence,
     target: OptimizationTarget | None = None,
+    *,
+    eval_cache: EvalCache | None = None,
+    solve_cache: SolveCache | None = None,
+    stats: SweepStats | None = None,
+    jobs: int = 1,
 ) -> SensitivityResult:
-    """Re-solve ``base`` across ``values`` of ``parameter``."""
+    """Re-solve ``base`` across ``values`` of ``parameter``.
+
+    One shared ``eval_cache`` spans the whole serial sweep (created when
+    omitted), so neighboring points reuse subarray and H-tree designs --
+    the reuse shows up in ``stats``.  ``solve_cache`` persists whole
+    point solves across sweeps; ``jobs > 1`` solves points concurrently
+    in worker processes (point order is preserved, numbers unchanged).
+    """
     if parameter not in SWEEPABLE:
         raise ValueError(
             f"cannot sweep {parameter!r}; choose one of {SWEEPABLE}"
         )
-    points = []
+    # An invalid spec at some value (e.g. a capacity that does not
+    # divide into sets) counts as an infeasible point in either mode.
+    specs: list[MemorySpec | None] = []
     for value in values:
         try:
-            spec = replace(base, **{parameter: value})
-            solution = solve(spec, target)
-        except (NoFeasibleSolution, ValueError):
+            specs.append(replace(base, **{parameter: value}))
+        except ValueError:
+            specs.append(None)
+    jobs = parallel.resolve_jobs(jobs)
+    solutions: list[Solution | None]
+    if jobs == 1 or sum(s is not None for s in specs) <= 1:
+        if eval_cache is None:
+            eval_cache = EvalCache()
+        solutions = []
+        for spec in specs:
             solution = None
-        points.append(SweepPoint(value=float(value), solution=solution))
+            if spec is not None:
+                try:
+                    solution = solve(
+                        spec,
+                        target,
+                        eval_cache=eval_cache,
+                        solve_cache=solve_cache,
+                        stats=stats,
+                    )
+                except (NoFeasibleSolution, ValueError):
+                    solution = None
+            solutions.append(solution)
+    else:
+        cache_path = (
+            os.fspath(solve_cache.path) if solve_cache is not None else None
+        )
+        live = [s for s in specs if s is not None]
+        results = parallel.parallel_map(
+            _sweep_point_task,
+            [(spec, target, cache_path) for spec in live],
+            jobs,
+        )
+        results_iter = iter(results)
+        solutions = []
+        for spec in specs:
+            if spec is None:
+                solutions.append(None)
+                continue
+            solution, worker_stats = next(results_iter)
+            solutions.append(solution)
+            if stats is not None:
+                stats.absorb_worker(worker_stats)
+        if solve_cache is not None:
+            solve_cache.refresh()
+    points = tuple(
+        SweepPoint(value=float(value), solution=solution)
+        for value, solution in zip(values, solutions)
+    )
     if not any(p.solution is not None for p in points):
         raise NoFeasibleSolution(
             f"no feasible point in the {parameter} sweep"
         )
-    return SensitivityResult(parameter=parameter, points=tuple(points))
+    return SensitivityResult(parameter=parameter, points=points)
 
 
 def capacity_sweep(
-    base: MemorySpec, factors: Sequence[int] = (1, 2, 4, 8, 16)
+    base: MemorySpec,
+    factors: Sequence[int] = (1, 2, 4, 8, 16),
+    **kwargs,
 ) -> SensitivityResult:
-    """Convenience: sweep capacity by powers of two from the base."""
+    """Convenience: sweep capacity by powers of two from the base.
+
+    Keyword arguments (``jobs``, ``eval_cache``, ``solve_cache``,
+    ``stats``, ``target``) pass through to :func:`sweep`.
+    """
     return sweep(
         base,
         "capacity_bytes",
         [base.capacity_bytes * f for f in factors],
+        **kwargs,
     )

@@ -17,6 +17,7 @@ from repro.array.organization import (
     EvalCache,
     enumerate_feasible_orgs,
     enumerate_orgs,
+    prefilter_grid,
     prefilter_org,
 )
 from repro.core.config import DENSITY_OPTIMIZED, OptimizationTarget
@@ -95,6 +96,25 @@ def test_fused_enumeration_matches_filtered_enumeration(spec, node, target):
         if prefilter_org(spec, org) is not None
     ]
     assert fused == filtered
+
+
+@pytest.mark.parametrize("spec,node,target", GRID)
+def test_vectorized_grid_matches_fused_enumeration(spec, node, target):
+    """The numpy batch pre-filter produces exactly the fused scalar
+    enumeration: same survivors, same geometries, same order."""
+    assert prefilter_grid(spec) == list(enumerate_feasible_orgs(spec))
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("spec,node,target", GRID)
+def test_parallel_optimize_is_bit_identical(spec, node, target, jobs):
+    """optimize(jobs=N) returns field-for-field identical ArrayMetrics
+    to the serial path: sharded workers with worker-local caches change
+    wall time only, never numbers or ranking tie-breaks."""
+    tech = technology(node)
+    serial = optimize(tech, spec, target)
+    sharded = optimize(tech, spec, target, jobs=jobs)
+    assert_metrics_identical(serial, sharded)
 
 
 @pytest.mark.parametrize("spec,node,target", GRID)

@@ -1,0 +1,170 @@
+"""Unit tests for the multi-process batch execution engine."""
+
+import pytest
+
+from repro.array.organization import ArraySpec, EvalCache
+from repro.core import parallel
+from repro.core.cacti import solve, solve_batch, CactiD
+from repro.core.config import MemorySpec, OptimizationTarget
+from repro.core.optimizer import SweepStats, feasible_designs
+from repro.core.parallel import chunk_evenly, parallel_map, resolve_jobs
+from repro.core.solvecache import SolveCache
+from repro.study.sensitivity import capacity_sweep, sweep
+from repro.tech.cells import CellTech
+from repro.tech.nodes import technology
+
+TECH = technology(32)
+
+SPEC = ArraySpec(
+    capacity_bits=8 * (64 << 10),
+    output_bits=512,
+    assoc=8,
+    cell_tech=CellTech.SRAM,
+    periph_device_type="hp-long-channel",
+)
+
+BATCH = [
+    MemorySpec(capacity_bytes=512 << 10, cell_tech=CellTech.SRAM),
+    MemorySpec(capacity_bytes=1 << 20, cell_tech=CellTech.SRAM),
+    MemorySpec(capacity_bytes=1 << 20, cell_tech=CellTech.LP_DRAM),
+]
+
+
+class TestResolveJobs:
+    def test_explicit_counts_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_auto_means_at_least_one_core(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-1) >= 1
+
+
+class TestChunkEvenly:
+    def test_concatenation_reproduces_input_order(self):
+        items = list(range(103))
+        chunks = chunk_evenly(items, jobs=4)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_no_empty_chunks(self):
+        for n in (1, 2, 5, 16, 100):
+            for chunk in chunk_evenly(list(range(n)), jobs=4):
+                assert chunk
+
+    def test_empty_input(self):
+        assert chunk_evenly([], jobs=4) == []
+
+    def test_chunk_count_bounded_by_items(self):
+        assert len(chunk_evenly([1, 2], jobs=8)) <= 2
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestParallelMap:
+    def test_serial_fallback_preserves_order(self):
+        assert parallel_map(_double, [3, 1, 2], jobs=1) == [6, 2, 4]
+
+    def test_process_pool_preserves_order(self):
+        assert parallel_map(_double, list(range(20)), jobs=2) == [
+            2 * x for x in range(20)
+        ]
+
+
+class TestParallelFeasibleDesigns:
+    def test_matches_serial_including_order(self):
+        serial = feasible_designs(TECH, SPEC, cache=EvalCache())
+        sharded = feasible_designs(TECH, SPEC, jobs=2)
+        assert serial == sharded
+
+    def test_worker_stats_absorbed(self):
+        stats = SweepStats()
+        designs = feasible_designs(TECH, SPEC, stats=stats, jobs=2)
+        assert stats.workers_absorbed > 0
+        assert stats.worker_time_s > 0.0
+        assert stats.enumerated == stats.prefiltered + stats.built
+        assert stats.feasible == len(designs)
+        assert stats.built == stats.feasible + stats.infeasible_at_build
+        assert "build" in stats.phase_times
+
+
+class TestSolveBatch:
+    def test_serial_batch_matches_individual_solves(self):
+        individual = [solve(spec) for spec in BATCH]
+        batch = solve_batch(BATCH, jobs=1)
+        for a, b in zip(individual, batch):
+            assert a.data == b.data and a.tag == b.tag
+
+    def test_parallel_batch_is_bit_identical(self):
+        serial = solve_batch(BATCH, jobs=1)
+        sharded = solve_batch(BATCH, jobs=2)
+        for a, b in zip(serial, sharded):
+            assert a.data == b.data and a.tag == b.tag
+
+    def test_target_sequence_must_match_specs(self):
+        with pytest.raises(ValueError):
+            solve_batch(BATCH, [OptimizationTarget()])
+
+    def test_workers_share_persistent_cache(self, tmp_path):
+        cache = SolveCache(tmp_path / "solves.json")
+        stats = SweepStats()
+        solve_batch(BATCH, solve_cache=cache, stats=stats, jobs=2)
+        # Each cache spec contributes a data and a tag array record,
+        # written by the workers and visible to the parent after merge.
+        assert len(cache) == 2 * len(BATCH)
+        assert stats.workers_absorbed == len(BATCH)
+        # A second batch is served from disk inside the workers.
+        again = SweepStats()
+        solve_batch(BATCH, solve_cache=cache, stats=again, jobs=2)
+        assert again.solve_cache_hits == 2 * len(BATCH)
+        assert again.built == 0
+
+    def test_facade_batch(self, tmp_path):
+        tool = CactiD(node_nm=32.0, cache_path=tmp_path / "c.json")
+        batch = tool.solve_batch(BATCH, jobs=2)
+        assert [s.spec for s in batch] == BATCH
+        assert tool.stats.workers_absorbed == len(BATCH)
+        assert len(tool.solve_cache) == 2 * len(BATCH)
+
+    def test_facade_batch_rejects_wrong_node(self):
+        tool = CactiD(node_nm=45.0)
+        with pytest.raises(ValueError):
+            tool.solve_batch(BATCH)
+
+
+class TestParallelSensitivity:
+    BASE = MemorySpec(capacity_bytes=256 << 10)
+
+    def test_shared_eval_cache_reuses_designs_across_points(self):
+        stats = SweepStats()
+        capacity_sweep(self.BASE, factors=(1, 2, 4), stats=stats)
+        # Neighboring points share subarray/H-tree problems; the reuse
+        # must be visible in the sweep stats.
+        assert stats.subarray_hits > 0
+        assert stats.htree_hits > 0
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = capacity_sweep(self.BASE, factors=(1, 2, 4))
+        sharded = capacity_sweep(self.BASE, factors=(1, 2, 4), jobs=2)
+        for a, b in zip(serial.points, sharded.points):
+            assert a.value == b.value
+            assert (a.solution is None) == (b.solution is None)
+            if a.solution is not None:
+                assert a.solution.data == b.solution.data
+                assert a.solution.tag == b.solution.tag
+
+    def test_parallel_sweep_tolerates_infeasible_points(self):
+        # 3 banks cannot divide most capacities: the invalid points
+        # must come back as None in order, not crash the pool.
+        result = sweep(self.BASE, "nbanks", [1, 3, 2], jobs=2)
+        values = [p.value for p in result.points]
+        assert values == [1.0, 3.0, 2.0]
+        assert result.points[0].solution is not None
+
+    def test_parallel_sweep_absorbs_worker_stats(self):
+        stats = SweepStats()
+        capacity_sweep(self.BASE, factors=(1, 2), stats=stats, jobs=2)
+        assert stats.workers_absorbed == 2
+        assert stats.feasible > 0

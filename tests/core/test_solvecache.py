@@ -107,3 +107,60 @@ class TestSolveCache:
         del payload["records"][key]["rows"]
         path.write_text(json.dumps(payload))
         assert SolveCache(path).get(SPEC, TARGET, 32.0) is None
+
+
+class TestConcurrentWriters:
+    """Two processes sharing one --cache path must never lose records."""
+
+    def _other_spec(self, output_bits=256):
+        import dataclasses
+
+        return dataclasses.replace(SPEC, output_bits=output_bits)
+
+    def test_interleaved_puts_merge_instead_of_truncating(
+        self, tmp_path, best
+    ):
+        path = tmp_path / "c.json"
+        # Both handles load the (empty) file before either writes --
+        # the classic lost-update interleaving.
+        writer_a = SolveCache(path)
+        writer_b = SolveCache(path)
+        writer_a.put(SPEC, TARGET, 32.0, best)
+        writer_b.put(self._other_spec(), TARGET, 32.0, best)
+        # The second save merged the first one's record from disk.
+        fresh = SolveCache(path)
+        assert fresh.get(SPEC, TARGET, 32.0) == best
+        assert fresh.get(self._other_spec(), TARGET, 32.0) == best
+
+    def test_refresh_picks_up_foreign_records(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        reader = SolveCache(path)
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        assert len(reader) == 0
+        reader.refresh()
+        assert reader.get(SPEC, TARGET, 32.0) == best
+
+    def test_save_leaves_no_temp_files(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+
+    def test_atomic_write_via_os_replace(self, tmp_path, best, monkeypatch):
+        """The records file itself is never opened for writing: a crash
+        mid-save can only lose the temp file, not the cache."""
+        import os as os_module
+
+        replaced = []
+        real_replace = os_module.replace
+
+        def spy(src, dst):
+            replaced.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.core.solvecache.os.replace", spy)
+        path = tmp_path / "c.json"
+        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        assert len(replaced) == 1
+        src, dst = replaced[0]
+        assert dst == str(path)
+        assert src != dst and str(os_module.getpid()) in src
