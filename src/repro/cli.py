@@ -26,6 +26,7 @@ from repro.core.config import (
 )
 from repro.core.optimizer import NoFeasibleSolution, SweepStats
 from repro.core.solvecache import SolveCache
+from repro.obs import Obs
 from repro.tech.cells import CellTech
 
 _PRESETS = {
@@ -100,7 +101,16 @@ def _build_parser() -> argparse.ArgumentParser:
     mm.add_argument("--page", type=_size_arg, default=8192,
                     help="page size in bits")
 
-    for solver in (cache, mm):
+    validate = sub.add_parser(
+        "validate-ddr3", help="reproduce the paper's Table 2 validation"
+    )
+    table3 = sub.add_parser(
+        "table3", help="solve the LLC study's Table 3 columns"
+    )
+
+    # Every subcommand ultimately runs the same solver, so every
+    # subcommand gets the same solver knobs and observability outputs.
+    for solver in (cache, mm, validate, table3):
         solver.add_argument(
             "--cache", metavar="PATH", default=None, dest="cache_path",
             help="persistent solve-cache file (JSON); repeated identical "
@@ -116,26 +126,43 @@ def _build_parser() -> argparse.ArgumentParser:
             help="worker processes for the candidate sweep (1 = serial, "
                  "0 = all cores); results are bit-identical at any N",
         )
-
-    sub.add_parser("validate-ddr3",
-                   help="reproduce the paper's Table 2 validation")
-    sub.add_parser("table3", help="solve the LLC study's Table 3 columns")
+        solver.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="write a Chrome trace-event JSON of the run "
+                 "(open in chrome://tracing or Perfetto)",
+        )
+        solver.add_argument(
+            "--metrics", metavar="FILE", default=None,
+            help="write a JSON metrics snapshot of the run (counters, "
+                 "gauges, latency histograms, cache hit rates)",
+        )
     return parser
 
 
 def _solver_knobs(args: argparse.Namespace) -> tuple:
-    """The optional solve cache and stats accumulator for a solver run."""
+    """The optional solve cache, stats accumulator, and tracer for a run."""
     solve_cache = (
         SolveCache(args.cache_path) if args.cache_path is not None else None
     )
     stats = SweepStats() if args.stats else None
-    return solve_cache, stats
+    obs = Obs() if (args.trace or args.metrics) else None
+    return solve_cache, stats, obs
 
 
 def _print_stats(stats: SweepStats | None) -> None:
     if stats is not None:
         print()
         print(stats.summary())
+
+
+def _write_obs(args: argparse.Namespace, obs: Obs | None) -> None:
+    """Write the requested trace/metrics files after a successful run."""
+    if obs is None:
+        return
+    if args.trace:
+        obs.tracer.write_chrome(args.trace)
+    if args.metrics:
+        obs.metrics.write(args.metrics)
 
 
 def _run_cache(args: argparse.Namespace) -> int:
@@ -150,16 +177,18 @@ def _run_cache(args: argparse.Namespace) -> int:
                      else AccessMode.NORMAL),
         sleep_transistors=args.sleep_transistors,
     )
-    solve_cache, stats = _solver_knobs(args)
+    solve_cache, stats, obs = _solver_knobs(args)
     solution = solve(
         spec,
         _PRESETS[args.optimize],
         solve_cache=solve_cache,
         stats=stats,
         jobs=args.jobs,
+        obs=obs,
     )
     print(solution.summary())
     _print_stats(stats)
+    _write_obs(args, obs)
     return 0
 
 
@@ -171,32 +200,50 @@ def _run_main_memory(args: argparse.Namespace) -> int:
         burst_length=args.burst,
         page_bits=args.page,
     )
-    solve_cache, stats = _solver_knobs(args)
+    solve_cache, stats, obs = _solver_knobs(args)
     solution = solve_main_memory(
         spec,
         node_nm=args.node,
         solve_cache=solve_cache,
         stats=stats,
         jobs=args.jobs,
+        obs=obs,
     )
     print(solution.summary())
     _print_stats(stats)
+    _write_obs(args, obs)
     return 0
 
 
 def _run_validate(args: argparse.Namespace) -> int:
-    del args
     from repro.validation.compare import validate_ddr3
 
-    print(validate_ddr3().report())
+    solve_cache, stats, obs = _solver_knobs(args)
+    validation = validate_ddr3(
+        solve_cache=solve_cache, stats=stats, jobs=args.jobs, obs=obs
+    )
+    print(validation.report())
+    _print_stats(stats)
+    _write_obs(args, obs)
     return 0
 
 
 def _run_table3(args: argparse.Namespace) -> int:
-    del args
     from repro.study.table3 import solve_table3
 
-    for name, row in solve_table3().items():
+    solve_cache, stats, obs = _solver_knobs(args)
+    # Pass only the live knobs: a knob-free call keeps table3's memo of
+    # already-solved rows (and a second `repro table3` stays fast).
+    knobs = {}
+    if solve_cache is not None:
+        knobs["solve_cache"] = solve_cache
+    if stats is not None:
+        knobs["stats"] = stats
+    if obs is not None:
+        knobs["obs"] = obs
+    if args.jobs != 1:
+        knobs["jobs"] = args.jobs
+    for name, row in solve_table3(**knobs).items():
         cap = row.capacity_bytes
         cap_str = (f"{cap >> 20}MB" if cap >= 1 << 20 else f"{cap >> 10}KB")
         print(
@@ -205,6 +252,8 @@ def _run_table3(args: argparse.Namespace) -> int:
             f"leak={row.leakage_w:.3f} W  refresh={row.refresh_w:.4f} W  "
             f"E_rd={row.e_read_nj:.2f} nJ"
         )
+    _print_stats(stats)
+    _write_obs(args, obs)
     return 0
 
 

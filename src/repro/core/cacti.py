@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Sequence
@@ -44,6 +45,7 @@ from repro.core import parallel
 from repro.core.optimizer import SweepStats, optimize
 from repro.core.results import Solution
 from repro.core.solvecache import SolveCache
+from repro.obs import Obs, maybe_span
 from repro.tech.nodes import Technology, technology
 
 
@@ -98,40 +100,58 @@ def solve(
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> Solution:
     """Solve ``spec``, returning the optimizer's best design point.
 
     ``eval_cache`` shares circuit designs across candidates and solves
     (a fresh one spanning the data and tag sweeps is created when
     omitted); ``solve_cache`` short-circuits whole repeated solves from
-    disk; ``stats`` accumulates :class:`~repro.core.optimizer.SweepStats`
-    counters; ``jobs`` parallelizes candidate construction inside each
-    array sweep.  None of them changes the returned numbers.
+    disk (flushed once at the solve boundary); ``stats`` accumulates
+    :class:`~repro.core.optimizer.SweepStats` counters; ``jobs``
+    parallelizes candidate construction inside each array sweep;
+    ``obs`` records a ``solve`` span with nested data/tag array sweeps.
+    None of them changes the returned numbers.
     """
     target = target or OptimizationTarget()
     tech = technology(spec.node_nm)
     if eval_cache is None:
         eval_cache = EvalCache()
-    data = optimize(
-        tech,
-        data_array_spec(spec),
-        target,
-        eval_cache=eval_cache,
-        solve_cache=solve_cache,
-        stats=stats,
-        jobs=jobs,
-    )
-    tag = None
-    if spec.is_cache:
-        tag = optimize(
-            tech,
-            tag_array_spec(spec),
-            target,
-            eval_cache=eval_cache,
-            solve_cache=solve_cache,
-            stats=stats,
-            jobs=jobs,
-        )
+    with maybe_span(
+        obs,
+        "solve",
+        capacity_bytes=spec.capacity_bytes,
+        cell_tech=spec.cell_tech.value,
+        node_nm=spec.node_nm,
+        kind="cache" if spec.is_cache else "ram",
+    ):
+        # Hold the solve cache open so the data and tag sweeps flush
+        # once, at this solve boundary, not once per optimize.
+        with solve_cache if solve_cache is not None else nullcontext():
+            with maybe_span(obs, "data_array"):
+                data = optimize(
+                    tech,
+                    data_array_spec(spec),
+                    target,
+                    eval_cache=eval_cache,
+                    solve_cache=solve_cache,
+                    stats=stats,
+                    jobs=jobs,
+                    obs=obs,
+                )
+            tag = None
+            if spec.is_cache:
+                with maybe_span(obs, "tag_array"):
+                    tag = optimize(
+                        tech,
+                        tag_array_spec(spec),
+                        target,
+                        eval_cache=eval_cache,
+                        solve_cache=solve_cache,
+                        stats=stats,
+                        jobs=jobs,
+                        obs=obs,
+                    )
     return Solution(spec=spec, data=data, tag=tag)
 
 
@@ -140,10 +160,12 @@ def _solve_batch_task(payload: tuple) -> tuple[Solution, dict]:
 
     The worker opens its own :class:`SolveCache` on the shared path
     (safe: saves are atomic and merge concurrently-written records) and
-    ships its :class:`SweepStats` home as a plain dict.
+    ships its :class:`SweepStats` home as a plain dict -- with its
+    local spans/metrics under ``"obs"`` when the parent traces.
     """
-    spec, target, cache_path = payload
+    spec, target, cache_path, with_obs = payload
     stats = SweepStats()
+    obs = Obs() if with_obs else None
     solve_cache = SolveCache(cache_path) if cache_path is not None else None
     solution = solve(
         spec,
@@ -151,8 +173,12 @@ def _solve_batch_task(payload: tuple) -> tuple[Solution, dict]:
         eval_cache=parallel.worker_eval_cache(),
         solve_cache=solve_cache,
         stats=stats,
+        obs=obs,
     )
-    return solution, stats.as_dict()
+    stats_dict = stats.as_dict()
+    if obs is not None:
+        stats_dict["obs"] = obs.export_payload()
+    return solution, stats_dict
 
 
 def solve_batch(
@@ -163,6 +189,7 @@ def solve_batch(
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> list[Solution]:
     """Solve independent specs, returning solutions in spec order.
 
@@ -170,9 +197,11 @@ def solve_batch(
     ``specs``.  With ``jobs > 1`` the specs are solved concurrently in
     worker processes; each worker shares the persistent ``solve_cache``
     by path (atomic merge-on-save writes make concurrent writers safe)
-    and ships its sweep stats back for absorption into ``stats``.  The
-    returned solutions are bit-identical to the serial path at any job
-    count.
+    and ships its sweep stats -- and spans/metrics when ``obs`` is
+    given -- back for absorption.  The serial path defers solve-cache
+    flushes to the batch boundary, so the cache file is rewritten once
+    per batch, not once per record.  The returned solutions are
+    bit-identical to the serial path at any job count.
     """
     specs = list(specs)
     if target is None or isinstance(target, OptimizationTarget):
@@ -185,43 +214,63 @@ def solve_batch(
             )
     jobs = parallel.resolve_jobs(jobs)
     t0 = time.perf_counter()
-    if jobs == 1 or len(specs) <= 1:
-        # Serial: one EvalCache spans the whole batch, so repeated
-        # subarray/H-tree problems are solved once across specs.
-        if eval_cache is None:
-            eval_cache = EvalCache()
-        solutions = [
-            solve(
-                spec,
-                tgt,
-                eval_cache=eval_cache,
-                solve_cache=solve_cache,
-                stats=stats,
+    with maybe_span(
+        obs, "batch", specs=len(specs), jobs=jobs
+    ) as batch_span:
+        if jobs == 1 or len(specs) <= 1:
+            # Serial: one EvalCache spans the whole batch, so repeated
+            # subarray/H-tree problems are solved once across specs;
+            # one deferred flush spans it too (O(1) writes per batch).
+            if eval_cache is None:
+                eval_cache = EvalCache()
+            with solve_cache if solve_cache is not None else nullcontext():
+                solutions = [
+                    solve(
+                        spec,
+                        tgt,
+                        eval_cache=eval_cache,
+                        solve_cache=solve_cache,
+                        stats=stats,
+                        obs=obs,
+                    )
+                    for spec, tgt in zip(specs, targets)
+                ]
+        else:
+            cache_path = (
+                os.fspath(solve_cache.path)
+                if solve_cache is not None else None
             )
-            for spec, tgt in zip(specs, targets)
-        ]
-    else:
-        cache_path = (
-            os.fspath(solve_cache.path) if solve_cache is not None else None
-        )
-        results = parallel.parallel_map(
-            _solve_batch_task,
-            [
-                (spec, tgt, cache_path)
-                for spec, tgt in zip(specs, targets)
-            ],
-            jobs,
-        )
-        solutions = []
-        for solution, worker_stats in results:
-            solutions.append(solution)
-            if stats is not None:
-                stats.absorb_worker(worker_stats)
-        if solve_cache is not None:
-            # Pick up the records the workers just wrote to disk.
-            solve_cache.refresh()
+            results = parallel.parallel_map(
+                _solve_batch_task,
+                [
+                    (spec, tgt, cache_path, obs is not None)
+                    for spec, tgt in zip(specs, targets)
+                ],
+                jobs,
+            )
+            solutions = []
+            worker_wall = 0.0
+            for solution, worker_stats in results:
+                solutions.append(solution)
+                worker_wall += worker_stats.get("wall_time_s", 0.0)
+                if stats is not None:
+                    stats.absorb_worker(worker_stats)
+                if obs is not None:
+                    obs.absorb_worker(worker_stats.get("obs"))
+            if solve_cache is not None:
+                # Pick up the records the workers just wrote to disk.
+                solve_cache.refresh()
+            if obs is not None and batch_span is not None:
+                elapsed = time.perf_counter() - t0
+                if elapsed > 0:
+                    obs.gauge(
+                        "parallel.worker_utilization",
+                        worker_wall / (elapsed * jobs),
+                    )
     if stats is not None:
         stats.add_phase_time("batch", time.perf_counter() - t0)
+    if obs is not None:
+        obs.observe("phase.batch_s", time.perf_counter() - t0)
     return solutions
 
 
@@ -262,6 +311,50 @@ class MainMemorySolution:
         ]
         return "\n".join(lines)
 
+    def run_report(self) -> dict:
+        """Machine-readable report of this solved chip.
+
+        Plain JSON types only, so benchmark harnesses can serialize it
+        and diff runs against recorded ``BENCH_*.json`` baselines.
+        """
+        t, e = self.timing, self.energies
+        return {
+            "kind": "main_memory",
+            "spec": {
+                "capacity_bits": self.spec.capacity_bits,
+                "nbanks": self.spec.nbanks,
+                "data_pins": self.spec.data_pins,
+                "burst_length": self.spec.burst_length,
+                "page_bits": self.spec.page_bits,
+            },
+            "organization": {
+                "ndwl": self.metrics.org.ndwl,
+                "ndbl": self.metrics.org.ndbl,
+                "nspd": self.metrics.org.nspd,
+                "ndcm": self.metrics.org.ndcm,
+                "ndsam": self.metrics.org.ndsam,
+            },
+            "timing_ns": {
+                "t_rcd": t.t_rcd * 1e9,
+                "t_cas": t.t_cas * 1e9,
+                "t_rp": t.t_rp * 1e9,
+                "t_ras": t.t_ras * 1e9,
+                "t_rc": t.t_rc * 1e9,
+                "t_rrd": t.t_rrd * 1e9,
+            },
+            "energy_nj": {
+                "e_activate": e.e_activate * 1e9,
+                "e_read": e.e_read * 1e9,
+                "e_write": e.e_write * 1e9,
+            },
+            "power_mw": {
+                "p_refresh": e.p_refresh * 1e3,
+                "p_standby": e.p_standby * 1e3,
+            },
+            "area_mm2": self.area_mm2,
+            "area_efficiency": self.area_efficiency,
+        }
+
 
 def solve_main_memory(
     spec: MainMemorySpec,
@@ -273,6 +366,7 @@ def solve_main_memory(
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> MainMemorySolution:
     """Solve a main-memory DRAM chip at ``node_nm``.
 
@@ -282,20 +376,28 @@ def solve_main_memory(
     target = target or DENSITY_OPTIMIZED
     tech = technology(node_nm)
     array_spec = spec.array_spec()
-    metrics = optimize(
-        tech,
-        array_spec,
-        target,
-        eval_cache=eval_cache,
-        solve_cache=solve_cache,
-        stats=stats,
-        jobs=jobs,
-    )
-    timing = derive_timing(spec, metrics, clock_period)
-    vdd_cell = tech.cell(
-        array_spec.cell_tech, array_spec.periph_device_type
-    ).vdd_cell
-    energies = derive_energies(spec, metrics, vdd_cell)
+    with maybe_span(
+        obs,
+        "solve_main_memory",
+        capacity_bits=spec.capacity_bits,
+        node_nm=node_nm,
+    ):
+        metrics = optimize(
+            tech,
+            array_spec,
+            target,
+            eval_cache=eval_cache,
+            solve_cache=solve_cache,
+            stats=stats,
+            jobs=jobs,
+            obs=obs,
+        )
+        with maybe_span(obs, "derive_interface"):
+            timing = derive_timing(spec, metrics, clock_period)
+            vdd_cell = tech.cell(
+                array_spec.cell_tech, array_spec.periph_device_type
+            ).vdd_cell
+            energies = derive_energies(spec, metrics, vdd_cell)
     return MainMemorySolution(
         spec=spec, metrics=metrics, timing=timing, energies=energies
     )
@@ -309,16 +411,21 @@ class CactiD:
     solve issued through the facade, and -- when ``cache_path`` is given
     -- a persistent :class:`~repro.core.solvecache.SolveCache` so whole
     repeated solves are served from disk across processes.  ``stats``
-    accumulates sweep observability counters over the facade's lifetime.
+    accumulates sweep observability counters over the facade's
+    lifetime; pass ``obs`` (an :class:`~repro.obs.Obs`) to also record
+    tracing spans and metrics across every solve issued through it.
     """
 
-    def __init__(self, node_nm: float = 32.0, cache_path=None):
+    def __init__(
+        self, node_nm: float = 32.0, cache_path=None, obs: Obs | None = None
+    ):
         self.node_nm = node_nm
         self.eval_cache = EvalCache()
         self.solve_cache = (
             SolveCache(cache_path) if cache_path is not None else None
         )
         self.stats = SweepStats()
+        self.obs = obs
 
     @cached_property
     def technology(self) -> Technology:
@@ -338,6 +445,7 @@ class CactiD:
             solve_cache=self.solve_cache,
             stats=self.stats,
             jobs=jobs,
+            obs=self.obs,
         )
 
     def solve_batch(
@@ -363,6 +471,7 @@ class CactiD:
             solve_cache=self.solve_cache,
             stats=self.stats,
             jobs=jobs,
+            obs=self.obs,
         )
 
     def solve_main_memory(
@@ -381,6 +490,7 @@ class CactiD:
             solve_cache=self.solve_cache,
             stats=self.stats,
             jobs=jobs,
+            obs=self.obs,
         )
 
     def _check_node(self, spec: MemorySpec) -> None:

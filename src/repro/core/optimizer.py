@@ -45,6 +45,8 @@ from repro.array.organization import (
 )
 from repro.core import parallel
 from repro.core.config import OptimizationTarget
+from repro.obs import Obs, maybe_span
+from repro.obs import phase as obs_phase
 from repro.tech.nodes import Technology
 
 
@@ -211,16 +213,6 @@ class SweepStats:
         self.htree_misses += cache.htree_misses - hm0
 
 
-@contextmanager
-def _maybe_phase(stats: SweepStats | None, name: str):
-    """Time a phase when stats are collected; no-op otherwise."""
-    if stats is None:
-        yield
-    else:
-        with stats.phase(name):
-            yield
-
-
 def feasible_designs(
     tech: Technology,
     spec: ArraySpec,
@@ -230,6 +222,7 @@ def feasible_designs(
     stats: SweepStats | None = None,
     prefilter: bool = True,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> list[ArrayMetrics]:
     """Evaluate every feasible partitioning of ``spec``.
 
@@ -238,86 +231,138 @@ def feasible_designs(
     equivalence testing); ``cache`` shares circuit designs across
     candidates; ``jobs > 1`` shards the surviving candidates across
     worker processes (worker-local caches, candidate-order-preserving
-    merge) with ``jobs=1`` the plain serial path.  None of them affects
-    the returned metrics: the design list is bit-identical in every
-    mode, including its order.
+    merge) with ``jobs=1`` the plain serial path; ``obs`` records
+    prefilter/build spans and candidate/cache metrics.  None of them
+    affects the returned metrics: the design list is bit-identical in
+    every mode, including its order.
     """
     if stats is not None and cache is not None:
         stats._mark_eval_cache(cache)
+    eval_before = None
+    if obs is not None and cache is not None:
+        eval_before = (
+            cache.subarray_hits,
+            cache.subarray_misses,
+            cache.htree_hits,
+            cache.htree_misses,
+        )
     designs = []
     if orgs is None and prefilter and jobs != 1:
         # Parallel path: batch-prefilter the whole grid, shard the
         # survivors into contiguous chunks, merge in candidate order.
-        t0 = time.perf_counter()
-        candidates = prefilter_grid(spec)
-        if stats is not None:
-            stats.add_phase_time("prefilter", time.perf_counter() - t0)
-        with _maybe_phase(stats, "build"):
+        with obs_phase("prefilter", obs, stats):
+            candidates = prefilter_grid(spec)
+        with obs_phase(
+            "build", obs, stats, candidates=len(candidates), jobs=jobs
+        ) as build_span:
             designs, worker_stats = parallel.build_designs_parallel(
-                tech.node_nm, spec, candidates, jobs
+                tech.node_nm, spec, candidates, jobs,
+                with_obs=obs is not None,
             )
+        grid = org_grid_size(spec)
         if stats is not None:
-            grid = org_grid_size(spec)
             stats.enumerated += grid
             stats.prefiltered += grid - len(candidates)
             for payload in worker_stats:
                 stats.absorb_worker(payload)
+        if obs is not None:
+            obs.inc("optimizer.enumerated", grid)
+            obs.inc("optimizer.prefiltered", grid - len(candidates))
+            obs.inc("parallel.chunks", len(worker_stats))
+            for payload in worker_stats:
+                obs.absorb_worker(payload.get("obs"))
+            worker_wall = sum(
+                p.get("worker_wall_time_s", 0.0) for p in worker_stats
+            )
+            njobs = parallel.resolve_jobs(jobs)
+            if build_span is not None and build_span.duration_s > 0:
+                obs.gauge(
+                    "parallel.worker_utilization",
+                    worker_wall / (build_span.duration_s * njobs),
+                )
     elif orgs is None and prefilter:
         # Serial fast path: the structural pre-filter runs as one
         # vectorized batch over the grid (scalar fused enumeration when
         # numpy is missing), so rejected tuples cost a few arithmetic
         # ops and no objects.
-        t0 = time.perf_counter()
-        candidates = prefilter_grid(spec)
-        if stats is not None:
-            stats.add_phase_time("prefilter", time.perf_counter() - t0)
-        built = 0
-        t0 = time.perf_counter()
-        for org, geometry in candidates:
-            built += 1
-            try:
-                designs.append(
-                    build_organization(
-                        tech, spec, org, cache=cache, geometry=geometry
+        with obs_phase("prefilter", obs, stats):
+            candidates = prefilter_grid(spec)
+        infeasible = 0
+        with obs_phase("build", obs, stats, candidates=len(candidates)):
+            for org, geometry in candidates:
+                try:
+                    designs.append(
+                        build_organization(
+                            tech, spec, org, cache=cache, geometry=geometry
+                        )
                     )
-                )
-            except (InfeasibleOrganization, InfeasibleSubarray):
-                if stats is not None:
-                    stats.infeasible_at_build += 1
-                continue
-        if stats is not None:
-            stats.add_phase_time("build", time.perf_counter() - t0)
-            grid = org_grid_size(spec)
-            stats.enumerated += grid
-            stats.prefiltered += grid - built
-            stats.built += built
-    else:
-        for org in orgs if orgs is not None else enumerate_orgs(spec):
-            if stats is not None:
-                stats.enumerated += 1
-            geometry = None
-            if prefilter:
-                geometry = prefilter_org(spec, org)
-                if geometry is None:
-                    if stats is not None:
-                        stats.prefiltered += 1
+                except (InfeasibleOrganization, InfeasibleSubarray):
+                    infeasible += 1
                     continue
-            if stats is not None:
-                stats.built += 1
-            try:
-                designs.append(
-                    build_organization(
-                        tech, spec, org, cache=cache, geometry=geometry
+        grid = org_grid_size(spec)
+        if stats is not None:
+            stats.enumerated += grid
+            stats.prefiltered += grid - len(candidates)
+            stats.built += len(candidates)
+            stats.infeasible_at_build += infeasible
+        if obs is not None:
+            obs.inc("optimizer.enumerated", grid)
+            obs.inc("optimizer.prefiltered", grid - len(candidates))
+            obs.inc("optimizer.built", len(candidates))
+            obs.inc("optimizer.infeasible_at_build", infeasible)
+    else:
+        enumerated = prefiltered = built = infeasible = 0
+        with obs_phase("build", obs, stats):
+            for org in orgs if orgs is not None else enumerate_orgs(spec):
+                enumerated += 1
+                geometry = None
+                if prefilter:
+                    geometry = prefilter_org(spec, org)
+                    if geometry is None:
+                        prefiltered += 1
+                        continue
+                built += 1
+                try:
+                    designs.append(
+                        build_organization(
+                            tech, spec, org, cache=cache, geometry=geometry
+                        )
                     )
-                )
-            except (InfeasibleOrganization, InfeasibleSubarray):
-                if stats is not None:
-                    stats.infeasible_at_build += 1
-                continue
+                except (InfeasibleOrganization, InfeasibleSubarray):
+                    infeasible += 1
+                    continue
+        if stats is not None:
+            stats.enumerated += enumerated
+            stats.prefiltered += prefiltered
+            stats.built += built
+            stats.infeasible_at_build += infeasible
+        if obs is not None:
+            obs.inc("optimizer.enumerated", enumerated)
+            obs.inc("optimizer.prefiltered", prefiltered)
+            obs.inc("optimizer.built", built)
+            obs.inc("optimizer.infeasible_at_build", infeasible)
     if stats is not None:
         stats.feasible += len(designs)
         if cache is not None:
             stats._absorb_eval_cache(cache)
+    if obs is not None:
+        obs.inc("optimizer.feasible", len(designs))
+        if eval_before is not None:
+            obs.inc(
+                "eval_cache.subarray.hits",
+                cache.subarray_hits - eval_before[0],
+            )
+            obs.inc(
+                "eval_cache.subarray.misses",
+                cache.subarray_misses - eval_before[1],
+            )
+            obs.inc(
+                "eval_cache.htree.hits", cache.htree_hits - eval_before[2]
+            )
+            obs.inc(
+                "eval_cache.htree.misses",
+                cache.htree_misses - eval_before[3],
+            )
     if not designs:
         raise NoFeasibleSolution(
             f"no feasible organization for {spec.capacity_bits} bits of "
@@ -384,40 +429,67 @@ def optimize(
     solve_cache=None,
     stats: SweepStats | None = None,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> ArrayMetrics:
     """Full pipeline: enumerate, filter, rank; return the best design.
 
     ``eval_cache`` shares circuit designs across candidates (a fresh one
     is created per call when omitted); ``solve_cache`` is an optional
     :class:`~repro.core.solvecache.SolveCache` consulted before -- and
-    updated after -- the sweep; ``stats`` accumulates
+    flushed after -- the sweep; ``stats`` accumulates
     :class:`SweepStats` counters in place; ``jobs`` spreads candidate
     construction over worker processes (``1`` = serial, ``<= 0`` = all
-    cores) without changing any returned number.
+    cores); ``obs`` records an ``optimize`` span with nested
+    prefilter/build/rank children plus cache-hit metrics.  None of them
+    changes any returned number.
     """
     t0 = time.perf_counter()
-    if solve_cache is not None:
-        hit = solve_cache.get(spec, target, tech.node_nm)
-        if hit is not None:
+    with maybe_span(
+        obs,
+        "optimize",
+        capacity_bits=spec.capacity_bits,
+        cell_tech=spec.cell_tech.value,
+        node_nm=tech.node_nm,
+    ) as span:
+        if solve_cache is not None:
+            if obs is not None:
+                # Touch both counters so the snapshot always derives a
+                # solve_cache.hit_rate once a cache is in play, even on
+                # an all-miss (or all-hit) run.
+                obs.metrics.counter("solve_cache.hits")
+                obs.metrics.counter("solve_cache.misses")
+            hit = solve_cache.get(spec, target, tech.node_nm)
+            if hit is not None:
+                if stats is not None:
+                    stats.solve_cache_hits += 1
+                    stats.wall_time_s += time.perf_counter() - t0
+                if obs is not None:
+                    obs.inc("solve_cache.hits")
+                if span is not None:
+                    span.attrs["solve_cache"] = "hit"
+                return hit
             if stats is not None:
-                stats.solve_cache_hits += 1
-                stats.wall_time_s += time.perf_counter() - t0
-            return hit
+                stats.solve_cache_misses += 1
+            if obs is not None:
+                obs.inc("solve_cache.misses")
+        if eval_cache is None:
+            eval_cache = EvalCache()
+        swept = _with_repeater_penalty(spec, target)
+        designs = feasible_designs(
+            tech, swept, cache=eval_cache, stats=stats, jobs=jobs, obs=obs
+        )
+        with obs_phase("rank", obs, stats, designs=len(designs)):
+            best = rank(filter_constraints(designs, target), target)[0]
+        if solve_cache is not None:
+            solve_cache.put(spec, target, tech.node_nm, best)
+            # Solve-boundary flush: deferred (one write per batch) when
+            # the caller holds the cache open as a context manager.
+            solve_cache.flush()
+            if obs is not None:
+                obs.gauge("solve_cache.records", len(solve_cache))
         if stats is not None:
-            stats.solve_cache_misses += 1
-    if eval_cache is None:
-        eval_cache = EvalCache()
-    swept = _with_repeater_penalty(spec, target)
-    designs = feasible_designs(
-        tech, swept, cache=eval_cache, stats=stats, jobs=jobs
-    )
-    with _maybe_phase(stats, "rank"):
-        best = rank(filter_constraints(designs, target), target)[0]
-    if solve_cache is not None:
-        solve_cache.put(spec, target, tech.node_nm, best)
-    if stats is not None:
-        stats.wall_time_s += time.perf_counter() - t0
-    return best
+            stats.wall_time_s += time.perf_counter() - t0
+        return best
 
 
 def pareto_solutions(
@@ -428,20 +500,29 @@ def pareto_solutions(
     eval_cache: EvalCache | None = None,
     stats: SweepStats | None = None,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> list[ArrayMetrics]:
     """All constraint-satisfying designs, ranked -- the solution cloud the
     paper plots in its Figure 1 validation bubbles."""
     t0 = time.perf_counter()
-    if eval_cache is None:
-        eval_cache = EvalCache()
-    spec = _with_repeater_penalty(spec, target)
-    designs = feasible_designs(
-        tech, spec, cache=eval_cache, stats=stats, jobs=jobs
-    )
-    ranked = rank(filter_constraints(designs, target), target)
-    if stats is not None:
-        stats.wall_time_s += time.perf_counter() - t0
-    return ranked
+    with maybe_span(
+        obs,
+        "pareto",
+        capacity_bits=spec.capacity_bits,
+        cell_tech=spec.cell_tech.value,
+        node_nm=tech.node_nm,
+    ):
+        if eval_cache is None:
+            eval_cache = EvalCache()
+        spec = _with_repeater_penalty(spec, target)
+        designs = feasible_designs(
+            tech, spec, cache=eval_cache, stats=stats, jobs=jobs, obs=obs
+        )
+        with obs_phase("rank", obs, stats, designs=len(designs)):
+            ranked = rank(filter_constraints(designs, target), target)
+        if stats is not None:
+            stats.wall_time_s += time.perf_counter() - t0
+        return ranked
 
 
 def _with_repeater_penalty(

@@ -37,6 +37,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
+from repro.obs import maybe_span
+
 #: Target chunks per worker: smaller chunks load-balance across workers,
 #: larger chunks amortize task pickling overhead.
 OVERSUBSCRIBE = 4
@@ -93,22 +95,46 @@ def worker_eval_cache():
     return _WORKER_EVAL_CACHE
 
 
-def parallel_map(fn: Callable, payloads: Sequence, jobs: int) -> list:
+def parallel_map(
+    fn: Callable,
+    payloads: Sequence,
+    jobs: int,
+    *,
+    obs=None,
+    span_name: str | None = None,
+) -> list:
     """Order-preserving map over worker processes.
 
     ``jobs=1`` (or a single payload) runs ``fn`` serially in-process --
     no executor, no pickling.  Results always come back in payload
     order, never completion order, so downstream merges are
     deterministic.  A worker exception propagates to the caller.
+
+    ``obs`` + ``span_name`` trace the map: the serial path records one
+    ``span_name`` span per task, the parallel path one enclosing
+    ``<span_name>.map`` span (per-task spans inside workers are the
+    task function's job to ship home).
     """
     payloads = list(payloads)
     jobs = min(resolve_jobs(jobs), len(payloads))
     if jobs <= 1:
-        return [fn(p) for p in payloads]
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker
-    ) as pool:
-        return list(pool.map(fn, payloads))
+        if obs is None or span_name is None:
+            return [fn(p) for p in payloads]
+        results = []
+        for i, p in enumerate(payloads):
+            with obs.span(span_name, index=i):
+                results.append(fn(p))
+        return results
+    with maybe_span(
+        obs,
+        f"{span_name}.map" if span_name else "parallel_map",
+        jobs=jobs,
+        tasks=len(payloads),
+    ):
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker
+        ) as pool:
+            return list(pool.map(fn, payloads))
 
 
 # --------------------------------------------------------------------- #
@@ -121,6 +147,10 @@ def _eval_chunk(payload: tuple) -> tuple[list, dict]:
     Returns the feasible :class:`~repro.array.organization.ArrayMetrics`
     in candidate order plus a stats payload (counter deltas of this
     chunk only, so the parent can sum payloads without double counting).
+    When the parent traces, the payload also carries an ``"obs"`` entry
+    -- this worker's local spans and metrics, recorded against its own
+    clock -- which the parent stitches into its trace with this
+    worker's pid at the correct time offset.
     """
     from repro.array.organization import (
         InfeasibleOrganization,
@@ -129,8 +159,13 @@ def _eval_chunk(payload: tuple) -> tuple[list, dict]:
     )
     from repro.tech.nodes import technology
 
-    node_nm, spec, chunk = payload
+    node_nm, spec, chunk, with_obs = payload
     t0 = time.perf_counter()
+    obs = None
+    if with_obs:
+        from repro.obs import Obs
+
+        obs = Obs()
     cache = worker_eval_cache()
     tech = technology(node_nm)
     before = (
@@ -141,15 +176,16 @@ def _eval_chunk(payload: tuple) -> tuple[list, dict]:
     )
     designs = []
     infeasible = 0
-    for org, geometry in chunk:
-        try:
-            designs.append(
-                build_organization(
-                    tech, spec, org, cache=cache, geometry=geometry
+    with maybe_span(obs, "chunk", candidates=len(chunk), pid=os.getpid()):
+        for org, geometry in chunk:
+            try:
+                designs.append(
+                    build_organization(
+                        tech, spec, org, cache=cache, geometry=geometry
+                    )
                 )
-            )
-        except (InfeasibleOrganization, InfeasibleSubarray):
-            infeasible += 1
+            except (InfeasibleOrganization, InfeasibleSubarray):
+                infeasible += 1
     after = (
         cache.subarray_hits,
         cache.subarray_misses,
@@ -157,6 +193,7 @@ def _eval_chunk(payload: tuple) -> tuple[list, dict]:
         cache.htree_misses,
     )
     deltas = [now - then for now, then in zip(after, before)]
+    worker_wall = time.perf_counter() - t0
     stats = {
         "built": len(chunk),
         "infeasible_at_build": infeasible,
@@ -164,14 +201,28 @@ def _eval_chunk(payload: tuple) -> tuple[list, dict]:
         "subarray_misses": deltas[1],
         "htree_hits": deltas[2],
         "htree_misses": deltas[3],
-        "worker_wall_time_s": time.perf_counter() - t0,
+        "worker_wall_time_s": worker_wall,
         "pid": os.getpid(),
     }
+    if obs is not None:
+        obs.inc("optimizer.built", len(chunk))
+        obs.inc("optimizer.infeasible_at_build", infeasible)
+        obs.inc("eval_cache.subarray.hits", deltas[0])
+        obs.inc("eval_cache.subarray.misses", deltas[1])
+        obs.inc("eval_cache.htree.hits", deltas[2])
+        obs.inc("eval_cache.htree.misses", deltas[3])
+        obs.observe("parallel.chunk_s", worker_wall)
+        stats["obs"] = obs.export_payload()
     return designs, stats
 
 
 def build_designs_parallel(
-    node_nm: float, spec, candidates: Sequence, jobs: int
+    node_nm: float,
+    spec,
+    candidates: Sequence,
+    jobs: int,
+    *,
+    with_obs: bool = False,
 ) -> tuple[list, list[dict]]:
     """Evaluate pre-filtered ``(OrgParams, OrgGeometry)`` candidates
     across worker processes.
@@ -179,11 +230,15 @@ def build_designs_parallel(
     Returns the feasible designs *in candidate order* (chunks are
     contiguous and merged in submission order) and the per-chunk worker
     stats payloads.  Workers rebuild the (lru-cached) technology object
-    from ``node_nm`` rather than unpickling it.
+    from ``node_nm`` rather than unpickling it.  ``with_obs`` asks each
+    worker to record local spans/metrics into its payload (under
+    ``"obs"``) for the parent to stitch into its trace.
     """
     chunks = chunk_evenly(candidates, jobs)
     out = parallel_map(
-        _eval_chunk, [(node_nm, spec, chunk) for chunk in chunks], jobs
+        _eval_chunk,
+        [(node_nm, spec, chunk, with_obs) for chunk in chunks],
+        jobs,
     )
     designs: list = []
     stats_payloads: list[dict] = []

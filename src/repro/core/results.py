@@ -167,6 +167,54 @@ class Solution:
     def area_mm2(self) -> float:
         return self.area * 1e6
 
+    def run_report(self) -> dict:
+        """Machine-readable report of this design point.
+
+        Plain JSON types only (ints, floats, strings, dicts), stable
+        key names: benchmark harnesses serialize this and diff runs
+        against the recorded ``BENCH_*.json`` baselines, and the CLI's
+        ``--metrics`` consumers join it with the metrics snapshot.
+        """
+        report = {
+            "kind": "cache" if self.tag is not None else "ram",
+            "spec": {
+                "capacity_bytes": self.spec.capacity_bytes,
+                "block_bytes": self.spec.block_bytes,
+                "associativity": self.spec.associativity,
+                "nbanks": self.spec.nbanks,
+                "node_nm": self.spec.node_nm,
+                "cell_tech": self.spec.cell_tech.value,
+                "access_mode": self.spec.access_mode.value,
+            },
+            "organization": {
+                "ndwl": self.data.org.ndwl,
+                "ndbl": self.data.org.ndbl,
+                "nspd": self.data.org.nspd,
+                "ndcm": self.data.org.ndcm,
+                "ndsam": self.data.org.ndsam,
+                "rows": self.data.rows,
+                "cols": self.data.cols,
+            },
+            "metrics": {
+                "access_time_ns": self.access_time_ns,
+                "random_cycle_ns": self.random_cycle_ns,
+                "interleave_cycle_ns": self.interleave_cycle_ns,
+                "e_read_nj": self.e_read_nj,
+                "e_write_nj": self.e_write_nj,
+                "p_leakage_mw": self.p_leakage_mw,
+                "p_refresh_mw": self.p_refresh_mw,
+                "area_mm2": self.area_mm2,
+                "area_efficiency": self.area_efficiency,
+            },
+        }
+        if self.tag is not None:
+            report["tag"] = {
+                "access_time_ns": self.tag.t_access * 1e9,
+                "area_mm2": self.tag.area * 1e6,
+                "cell_tech": self.tag.spec.cell_tech.value,
+            }
+        return report
+
     def summary(self) -> str:
         """Human-readable one-design summary for examples and reports."""
         lines = [

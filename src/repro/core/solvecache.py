@@ -29,8 +29,9 @@ from repro.array.organization import ArrayMetrics, ArraySpec, OrgParams
 from repro.core.config import OptimizationTarget
 from repro.tech.cells import CellTech
 
-#: Bump on any model change that alters solved numbers.
-CACHE_VERSION = "repro-solve-cache-v1"
+#: Bump on any model change that alters solved numbers, or any change
+#: to the key scheme (v2: numeric key fields are normalized to float).
+CACHE_VERSION = "repro-solve-cache-v2"
 
 #: ArrayMetrics scalar fields (everything except the nested spec/org).
 _METRIC_FIELDS = tuple(
@@ -64,16 +65,36 @@ def metrics_from_dict(d: dict) -> ArrayMetrics:
     return ArrayMetrics(spec=spec, org=org, **d)
 
 
+def _normalize_numbers(value):
+    """Coerce every numeric leaf to float so equal values hash equally.
+
+    ``json.dumps`` encodes ``32`` and ``32.0`` differently, so without
+    normalization the same physical solve (``node_nm=32`` vs ``32.0``)
+    would hash to two keys, silently missing the cache and duplicating
+    records.  Bools are ints in Python but identity-relevant, so they
+    pass through untouched.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _normalize_numbers(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize_numbers(v) for v in value]
+    return value
+
+
 def solve_key(
     spec: ArraySpec, target: OptimizationTarget, node_nm: float
 ) -> str:
     """Stable content hash of one solve request."""
-    payload = {
+    payload = _normalize_numbers({
         "version": CACHE_VERSION,
         "node_nm": node_nm,
         "spec": spec_to_dict(spec),
         "target": asdict(target),
-    }
+    })
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -92,12 +113,27 @@ class SolveCache:
     killed process cannot corrupt the records, and two concurrent
     writers cannot truncate each other's entries -- the last replace
     wins with the union of both record sets.
+
+    Writes are batched: :meth:`put` only marks the cache dirty, and
+    :meth:`flush` performs the (merge-on-load, atomic-replace) save.
+    The solve pipeline flushes at solve and batch boundaries, so a
+    thousand-record sweep costs O(1) file rewrites instead of O(n^2)
+    disk I/O.  Using the cache as a context manager defers flushes
+    until the ``with`` block exits::
+
+        with cache:            # flushes once on exit, however many puts
+            for spec in specs:
+                ...
+                cache.put(...)
+                cache.flush()  # deferred: records only a pending flush
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self.hits = 0
         self.misses = 0
+        self._dirty = False
+        self._defer_depth = 0
         self._records: dict[str, dict] = self._load()
 
     def __len__(self) -> int:
@@ -141,7 +177,26 @@ class SolveCache:
         self._records[solve_key(spec, target, node_nm)] = metrics_to_dict(
             metrics
         )
-        self._save()
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write pending records to disk (no-op when nothing changed).
+
+        Inside a ``with cache:`` block the flush is deferred to the
+        block exit, so nested solve/batch boundaries collapse to one
+        file write per batch.
+        """
+        if self._dirty and self._defer_depth == 0:
+            self._save()
+            self._dirty = False
+
+    def __enter__(self) -> "SolveCache":
+        self._defer_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._defer_depth -= 1
+        self.flush()
 
     def refresh(self) -> None:
         """Merge records another process has written since we loaded.

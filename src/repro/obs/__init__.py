@@ -1,0 +1,131 @@
+"""repro.obs: zero-dependency observability for the solve pipeline.
+
+One :class:`Obs` object bundles a :class:`~repro.obs.trace.Tracer`
+(nested wall-time spans, exportable as JSON and Chrome trace-event
+files) with a :class:`~repro.obs.metrics.MetricsRegistry` (named
+counters / gauges / histograms with a JSON ``snapshot()``).  Every
+pipeline entry point -- ``optimize``, ``solve``, ``solve_batch``,
+``solve_main_memory``, ``run_study``, ``sensitivity.sweep``, and the
+CLI via ``--trace`` / ``--metrics`` -- accepts an optional ``obs``
+argument; ``None`` (the default) keeps every hot path free of clock
+reads.
+
+The determinism contract is absolute: observability reads clocks and
+counts events around existing work, and never changes a solved number.
+The golden-equivalence suite asserts bit-identical metrics with tracing
+on and off at every job count.
+
+Worker processes record spans and metrics into their own ``Obs`` and
+ship ``export_payload()`` home inside the stats payload dicts the
+parallel engine already returns; the parent stitches them into its
+trace with the worker's pid at the correct time offset (the same
+ship-counters-home pattern as ``SweepStats.absorb_worker``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Obs",
+    "Span",
+    "Tracer",
+    "maybe_span",
+    "phase",
+]
+
+
+class Obs:
+    """A tracer and a metrics registry, threaded through one run."""
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # Thin delegates so call sites stay one line.
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def inc(self, name: str, n: int | float = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    # ------------------------------------------------------------------ #
+    # Worker shipping (see module docstring)
+
+    def export_payload(self) -> dict:
+        """Picklable trace + metrics snapshot for shipping to a parent."""
+        return {
+            "trace": self.tracer.export_payload(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def absorb_worker(self, payload: dict | None) -> None:
+        """Stitch a worker's ``export_payload()`` into this Obs."""
+        if not payload:
+            return
+        self.tracer.absorb_payload(payload.get("trace"))
+        self.metrics.absorb(payload.get("metrics"))
+
+
+@contextmanager
+def maybe_span(obs: Obs | None, name: str, **attrs):
+    """A tracer span when ``obs`` is given; a free no-op otherwise."""
+    if obs is None:
+        yield None
+    else:
+        with obs.span(name, **attrs) as span:
+            yield span
+
+
+@contextmanager
+def phase(name: str, obs: Obs | None = None, stats=None, **attrs):
+    """Time one pipeline phase into every sink that wants it.
+
+    One wall-clock measurement feeds the tracer span, a
+    ``phase.<name>_s`` latency histogram, and the ``SweepStats`` phase
+    timer -- ``SweepStats.phase_times`` stays populated as a thin view
+    of the same numbers the trace records.  With neither sink present
+    the clock is never read.
+    """
+    if obs is None and stats is None:
+        yield None
+        return
+    if obs is not None:
+        with obs.span(name, **attrs) as span:
+            try:
+                yield span
+            finally:
+                # duration_s is only final once the span closes; read
+                # the clock against the span's own start instead of
+                # timing twice.
+                seconds = (
+                    time.perf_counter() - obs.tracer._epoch - span.start_s
+                )
+                obs.observe(f"phase.{name}_s", seconds)
+                if stats is not None:
+                    stats.add_phase_time(name, seconds)
+    else:
+        t0 = time.perf_counter()
+        try:
+            yield None
+        finally:
+            stats.add_phase_time(name, time.perf_counter() - t0)

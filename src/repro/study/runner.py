@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from functools import partial
 
 from repro.core import parallel
+from repro.obs import Obs, maybe_span
 from repro.power.hierarchy import PowerBreakdown, hierarchy_power
 from repro.power.system import SystemPower, scaled_core_power
 from repro.sim.stats import SimStats
@@ -178,6 +179,7 @@ def run_study(
     instructions_per_thread: int | None = None,
     seed: int = 1234,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> StudyResult:
     """Run the full study matrix.
 
@@ -186,6 +188,8 @@ def run_study(
     and shared across all applications.  ``jobs > 1`` runs the
     app x config cells concurrently in worker processes; every cell's
     simulation is seeded, so the matrix is identical at any job count.
+    ``obs`` traces the matrix (one ``study.cell`` span per cell when
+    serial, one enclosing span when parallel) and counts cells run.
     """
     if instructions_per_thread is not None:
         profiles = tuple(
@@ -196,7 +200,19 @@ def run_study(
         for profile in profiles
         for config_name in configs
     ]
-    outcomes = parallel.parallel_map(_run_one_task, payloads, jobs)
+    with maybe_span(
+        obs,
+        "study",
+        apps=len(profiles),
+        configs=len(configs),
+        cells=len(payloads),
+        jobs=jobs,
+    ):
+        outcomes = parallel.parallel_map(
+            _run_one_task, payloads, jobs, obs=obs, span_name="study.cell"
+        )
+    if obs is not None:
+        obs.inc("study.cells", len(payloads))
     results = {
         (profile.name, config_name): result
         for (profile, config_name, _, _, _), result in zip(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -22,6 +23,7 @@ from repro.core.config import MemorySpec, OptimizationTarget
 from repro.core.optimizer import NoFeasibleSolution, SweepStats
 from repro.core.results import Solution
 from repro.core.solvecache import SolveCache
+from repro.obs import Obs, maybe_span
 
 #: Metrics extracted from each solved point.
 METRICS: dict[str, Callable[[Solution], float]] = {
@@ -108,10 +110,12 @@ def _sweep_point_task(payload: tuple) -> tuple[Solution | None, dict]:
     """Worker task: solve one sweep point, shipping stats home.
 
     Returns ``(None, stats)`` for an infeasible point, mirroring the
-    serial path's treatment.
+    serial path's treatment.  When the parent traces, the stats dict
+    carries this worker's spans/metrics under ``"obs"``.
     """
-    spec, target, cache_path = payload
+    spec, target, cache_path, with_obs = payload
     stats = SweepStats()
+    obs = Obs() if with_obs else None
     solve_cache = SolveCache(cache_path) if cache_path is not None else None
     try:
         solution = solve(
@@ -120,10 +124,14 @@ def _sweep_point_task(payload: tuple) -> tuple[Solution | None, dict]:
             eval_cache=parallel.worker_eval_cache(),
             solve_cache=solve_cache,
             stats=stats,
+            obs=obs,
         )
     except (NoFeasibleSolution, ValueError):
         solution = None
-    return solution, stats.as_dict()
+    stats_dict = stats.as_dict()
+    if obs is not None:
+        stats_dict["obs"] = obs.export_payload()
+    return solution, stats_dict
 
 
 def sweep(
@@ -136,14 +144,17 @@ def sweep(
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
     jobs: int = 1,
+    obs: Obs | None = None,
 ) -> SensitivityResult:
     """Re-solve ``base`` across ``values`` of ``parameter``.
 
     One shared ``eval_cache`` spans the whole serial sweep (created when
     omitted), so neighboring points reuse subarray and H-tree designs --
     the reuse shows up in ``stats``.  ``solve_cache`` persists whole
-    point solves across sweeps; ``jobs > 1`` solves points concurrently
-    in worker processes (point order is preserved, numbers unchanged).
+    point solves across sweeps (flushed once per sweep, not per point);
+    ``jobs > 1`` solves points concurrently in worker processes (point
+    order is preserved, numbers unchanged); ``obs`` traces the sweep
+    with one ``sweep.point`` span per point.
     """
     if parameter not in SWEEPABLE:
         raise ValueError(
@@ -159,46 +170,64 @@ def sweep(
             specs.append(None)
     jobs = parallel.resolve_jobs(jobs)
     solutions: list[Solution | None]
-    if jobs == 1 or sum(s is not None for s in specs) <= 1:
-        if eval_cache is None:
-            eval_cache = EvalCache()
-        solutions = []
-        for spec in specs:
-            solution = None
-            if spec is not None:
-                try:
-                    solution = solve(
-                        spec,
-                        target,
-                        eval_cache=eval_cache,
-                        solve_cache=solve_cache,
-                        stats=stats,
-                    )
-                except (NoFeasibleSolution, ValueError):
+    with maybe_span(
+        obs, "sweep", parameter=parameter, points=len(specs), jobs=jobs
+    ):
+        if jobs == 1 or sum(s is not None for s in specs) <= 1:
+            if eval_cache is None:
+                eval_cache = EvalCache()
+            solutions = []
+            with solve_cache if solve_cache is not None else nullcontext():
+                for value, spec in zip(values, specs):
                     solution = None
-            solutions.append(solution)
-    else:
-        cache_path = (
-            os.fspath(solve_cache.path) if solve_cache is not None else None
+                    if spec is not None:
+                        with maybe_span(obs, "sweep.point", value=value):
+                            try:
+                                solution = solve(
+                                    spec,
+                                    target,
+                                    eval_cache=eval_cache,
+                                    solve_cache=solve_cache,
+                                    stats=stats,
+                                    obs=obs,
+                                )
+                            except (NoFeasibleSolution, ValueError):
+                                solution = None
+                    solutions.append(solution)
+        else:
+            cache_path = (
+                os.fspath(solve_cache.path)
+                if solve_cache is not None else None
+            )
+            live = [s for s in specs if s is not None]
+            results = parallel.parallel_map(
+                _sweep_point_task,
+                [
+                    (spec, target, cache_path, obs is not None)
+                    for spec in live
+                ],
+                jobs,
+            )
+            results_iter = iter(results)
+            solutions = []
+            for spec in specs:
+                if spec is None:
+                    solutions.append(None)
+                    continue
+                solution, worker_stats = next(results_iter)
+                solutions.append(solution)
+                if stats is not None:
+                    stats.absorb_worker(worker_stats)
+                if obs is not None:
+                    obs.absorb_worker(worker_stats.get("obs"))
+            if solve_cache is not None:
+                solve_cache.refresh()
+    if obs is not None:
+        obs.inc("sensitivity.points", len(specs))
+        obs.inc(
+            "sensitivity.feasible_points",
+            sum(s is not None for s in solutions),
         )
-        live = [s for s in specs if s is not None]
-        results = parallel.parallel_map(
-            _sweep_point_task,
-            [(spec, target, cache_path) for spec in live],
-            jobs,
-        )
-        results_iter = iter(results)
-        solutions = []
-        for spec in specs:
-            if spec is None:
-                solutions.append(None)
-                continue
-            solution, worker_stats = next(results_iter)
-            solutions.append(solution)
-            if stats is not None:
-                stats.absorb_worker(worker_stats)
-        if solve_cache is not None:
-            solve_cache.refresh()
     points = tuple(
         SweepPoint(value=float(value), solution=solution)
         for value, solution in zip(values, solutions)

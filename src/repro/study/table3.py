@@ -139,22 +139,46 @@ def _cache_row(name: str, solution, nbanks: int) -> Table3Row:
     )
 
 
-@lru_cache(maxsize=None)
-def solve_l1() -> Table3Row:
+#: Memo of knob-free row solves (the lru_cache equivalent).  Knobbed
+#: calls bypass it: a caller passing ``stats``/``obs``/``solve_cache``
+#: expects a live solve feeding those sinks, not a silent memo hit --
+#: and a memoized knobbed result would leak one caller's cache handle
+#: into the next caller's run.
+_ROW_MEMO: dict[str, object] = {}
+
+
+def _memoized(key: str, build):
+    row = _ROW_MEMO.get(key)
+    if row is None:
+        row = _ROW_MEMO[key] = build()
+    return row
+
+
+def _l1_row(**knobs) -> Table3Row:
     s = solve(MemorySpec(capacity_bytes=32 << 10, block_bytes=64,
-                         associativity=8, node_nm=NODE_NM))
+                         associativity=8, node_nm=NODE_NM), **knobs)
     return _cache_row("L1", s, nbanks=1)
 
 
-@lru_cache(maxsize=None)
-def solve_l2() -> Table3Row:
+def solve_l1(**knobs) -> Table3Row:
+    if knobs:
+        return _l1_row(**knobs)
+    return _memoized("L1", _l1_row)
+
+
+def _l2_row(**knobs) -> Table3Row:
     s = solve(MemorySpec(capacity_bytes=1 << 20, block_bytes=64,
-                         associativity=8, node_nm=NODE_NM))
+                         associativity=8, node_nm=NODE_NM), **knobs)
     return _cache_row("L2", s, nbanks=1)
 
 
-@lru_cache(maxsize=None)
-def solve_l3(name: str) -> Table3Row:
+def solve_l2(**knobs) -> Table3Row:
+    if knobs:
+        return _l2_row(**knobs)
+    return _memoized("L2", _l2_row)
+
+
+def _l3_row(name: str, **knobs) -> Table3Row:
     capacity, assoc, cell_tech, target = _L3_POINTS[name]
     s = solve(
         MemorySpec(
@@ -167,20 +191,37 @@ def solve_l3(name: str) -> Table3Row:
             sleep_transistors=cell_tech is CellTech.SRAM,
         ),
         target,
+        **knobs,
     )
     return _cache_row(name, s, nbanks=8)
 
 
-@lru_cache(maxsize=None)
-def solve_main_memory_chip():
+def solve_l3(name: str, **knobs) -> Table3Row:
+    if knobs:
+        return _l3_row(name, **knobs)
+    return _memoized(name, lambda: _l3_row(name))
+
+
+def solve_main_memory_chip(**knobs):
     """The 8 Gb DDR4-3200 x8 device at 32 nm."""
+    if knobs:
+        return _main_memory_chip(**knobs)
+    return _memoized("main_chip", _main_memory_chip)
+
+
+def _main_memory_chip(**knobs):
     spec = MainMemorySpec(capacity_bits=8 * 2**30, page_bits=8192)
-    return solve_main_memory(spec, node_nm=NODE_NM)
+    return solve_main_memory(spec, node_nm=NODE_NM, **knobs)
 
 
-@lru_cache(maxsize=None)
-def main_memory_row() -> Table3Row:
-    mm = solve_main_memory_chip()
+def main_memory_row(**knobs) -> Table3Row:
+    if knobs:
+        return _main_row(**knobs)
+    return _memoized("main", _main_row)
+
+
+def _main_row(**knobs) -> Table3Row:
+    mm = solve_main_memory_chip(**knobs)
     sheet = quantize(mm.timing, DDR4_3200)
     timing = to_main_memory_timing(sheet, burst_length=8)
     return Table3Row(
@@ -201,12 +242,16 @@ def main_memory_row() -> Table3Row:
     )
 
 
-def solve_table3() -> dict[str, Table3Row]:
-    """All Table 3 columns from the live CACTI-D model."""
-    rows = {"L1": solve_l1(), "L2": solve_l2()}
+def solve_table3(**knobs) -> dict[str, Table3Row]:
+    """All Table 3 columns from the live CACTI-D model.
+
+    Keyword knobs (``solve_cache``, ``stats``, ``jobs``, ``obs``) pass
+    through to every underlying solve; knob-free calls are memoized.
+    """
+    rows = {"L1": solve_l1(**knobs), "L2": solve_l2(**knobs)}
     for name in _L3_POINTS:
-        rows[name] = solve_l3(name)
-    rows["main"] = main_memory_row()
+        rows[name] = solve_l3(name, **knobs)
+    rows["main"] = main_memory_row(**knobs)
     return rows
 
 

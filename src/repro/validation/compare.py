@@ -20,7 +20,20 @@ from repro.validation.targets import DDR3_TARGET, Ddr3Target, SramCacheTarget
 
 
 def percent_error(model: float, actual: float) -> float:
-    """Signed fractional error of the model against the actual value."""
+    """Signed fractional error of the model against the actual value.
+
+    A zero actual has no well-defined fractional error: an exactly-met
+    zero target reports 0.0, and anything else raises :class:`ValueError`
+    (not a bare ``ZeroDivisionError``) so the CLI can exit cleanly with
+    the offending values instead of a traceback.
+    """
+    if actual == 0:
+        if model == 0:
+            return 0.0
+        raise ValueError(
+            f"percent error is undefined against a zero target "
+            f"(model value {model!r})"
+        )
     return (model - actual) / actual
 
 
@@ -68,8 +81,25 @@ class Ddr3Validation:
         return "\n".join(lines)
 
 
-def validate_ddr3(target: Ddr3Target = DDR3_TARGET) -> Ddr3Validation:
-    """Solve the Micron part and compute per-metric errors (Table 2)."""
+def validate_ddr3(
+    target: Ddr3Target | None = None,
+    *,
+    solve_cache=None,
+    stats=None,
+    jobs: int = 1,
+    obs=None,
+) -> Ddr3Validation:
+    """Solve the Micron part and compute per-metric errors (Table 2).
+
+    ``target`` defaults to the module's ``DDR3_TARGET`` resolved at call
+    time (not bound at definition).  The keyword knobs (persistent
+    ``solve_cache``, ``stats`` accumulator, worker ``jobs``, ``obs``
+    tracer) pass straight through to
+    :func:`~repro.core.cacti.solve_main_memory`, so the validation run is
+    observable and cacheable exactly like any other solve.
+    """
+    if target is None:
+        target = DDR3_TARGET
     spec = MainMemorySpec(
         capacity_bits=target.capacity_bits,
         nbanks=target.nbanks,
@@ -77,7 +107,14 @@ def validate_ddr3(target: Ddr3Target = DDR3_TARGET) -> Ddr3Validation:
         burst_length=target.burst_length,
         page_bits=target.page_bits,
     )
-    solution = solve_main_memory(spec, node_nm=target.node_nm)
+    solution = solve_main_memory(
+        spec,
+        node_nm=target.node_nm,
+        solve_cache=solve_cache,
+        stats=stats,
+        jobs=jobs,
+        obs=obs,
+    )
     errors = {
         "area_efficiency": percent_error(
             solution.area_efficiency, target.area_efficiency

@@ -124,3 +124,109 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestObservabilityFlags:
+    """--trace and --metrics on every subcommand."""
+
+    def test_cache_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "cache", "--capacity", "256K",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        span_names = [e["name"] for e in doc["traceEvents"]]
+        for expected in ("solve", "data_array", "tag_array", "optimize",
+                         "prefilter", "build", "rank"):
+            assert expected in span_names, expected
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["optimizer.feasible"] > 0
+        assert "eval_cache.subarray.hit_rate" in snap["derived"]
+
+    def test_metrics_report_solve_cache_hit_rate(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.json"
+        cache = tmp_path / "solves.json"
+        args = ["cache", "--capacity", "256K",
+                "--cache", str(cache), "--metrics", str(metrics)]
+        assert main(args) == 0
+        cold = json.loads(metrics.read_text())
+        assert cold["derived"]["solve_cache.hit_rate"] == 0.0
+        assert main(args) == 0
+        warm = json.loads(metrics.read_text())
+        assert warm["derived"]["solve_cache.hit_rate"] == 1.0
+
+    def test_validate_ddr3_takes_solver_knobs(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        rc = main(["validate-ddr3", "--jobs", "2", "--stats",
+                   "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean |error|" in out
+        assert "candidates enumerated" in out
+        span_names = {
+            e["name"]
+            for e in json.loads(trace.read_text())["traceEvents"]
+        }
+        assert "solve_main_memory" in span_names
+        assert "derive_interface" in span_names
+
+    def test_table3_passes_knobs_through(self, tmp_path, capsys,
+                                          monkeypatch):
+        """table3 accepts the shared solver knobs and forwards them."""
+        import json
+
+        import repro.study.table3 as table3_module
+        from repro.core.optimizer import SweepStats
+        from repro.core.solvecache import SolveCache
+        from repro.obs import Obs
+
+        seen = {}
+
+        def fake_solve_table3(**knobs):
+            seen.update(knobs)
+            return {"L1": table3_module.paper_table3()["L1"]}
+
+        monkeypatch.setattr(
+            table3_module, "solve_table3", fake_solve_table3
+        )
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "table3", "--stats", "--jobs", "2",
+            "--cache", str(tmp_path / "solves.json"),
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        assert isinstance(seen["stats"], SweepStats)
+        assert isinstance(seen["solve_cache"], SolveCache)
+        assert isinstance(seen["obs"], Obs)
+        assert seen["jobs"] == 2
+        assert "L1" in capsys.readouterr().out
+        json.loads(trace.read_text())
+        json.loads(metrics.read_text())
+
+    def test_validate_zero_target_is_a_clean_error(self, capsys,
+                                                   monkeypatch):
+        """A zero published target must exit 2 with a message, not dump
+        a ZeroDivisionError traceback."""
+        import dataclasses
+
+        from repro.validation import compare, targets
+
+        bad = dataclasses.replace(targets.DDR3_TARGET, e_read=0.0)
+        monkeypatch.setattr(compare, "DDR3_TARGET", bad)
+        rc = main(["validate-ddr3"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "zero target" in err

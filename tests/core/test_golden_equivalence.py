@@ -21,8 +21,9 @@ from repro.array.organization import (
     prefilter_org,
 )
 from repro.core.config import DENSITY_OPTIMIZED, OptimizationTarget
-from repro.core.optimizer import feasible_designs, optimize
+from repro.core.optimizer import SweepStats, feasible_designs, optimize
 from repro.core.solvecache import SolveCache
+from repro.obs import Obs
 from repro.tech.cells import CellTech
 from repro.tech.nodes import technology
 
@@ -132,3 +133,45 @@ def test_solve_cache_round_trip_is_bit_identical(spec, node, target, tmp_path):
     cached = optimize(tech, spec, target, solve_cache=reread)
     assert reread.hits == 1
     assert_metrics_identical(cached, direct)
+
+
+@pytest.mark.parametrize("spec,node,target", GRID)
+def test_tracing_is_numerically_invisible(spec, node, target):
+    """Observability's determinism contract: a traced solve returns
+    bit-identical metrics to an untraced one.  Spans read the clock
+    around existing work; they never reorder or perturb it."""
+    tech = technology(node)
+    plain = optimize(tech, spec, target)
+    obs = Obs()
+    traced = optimize(tech, spec, target, obs=obs)
+    assert_metrics_identical(plain, traced)
+    assert len(obs.tracer) > 0  # the trace actually recorded the run
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_tracing_is_invisible_at_any_job_count(jobs):
+    """Trace on/off x jobs {1,2,4}: same numbers every way, including
+    the worker-span shipping path."""
+    spec, target = sram_spec(), OptimizationTarget()
+    tech = technology(32.0)
+    plain = optimize(tech, spec, target, jobs=jobs)
+    obs = Obs()
+    traced = optimize(tech, spec, target, jobs=jobs, obs=obs)
+    assert_metrics_identical(plain, traced)
+
+
+def test_every_sink_together_is_invisible(tmp_path):
+    """obs + stats + solve cache + workers all at once, still golden."""
+    spec, target = sram_spec(), OptimizationTarget()
+    tech = technology(32.0)
+    direct = optimize(tech, spec, target)
+    kitchen_sink = optimize(
+        tech,
+        spec,
+        target,
+        solve_cache=SolveCache(tmp_path / "solves.json"),
+        stats=SweepStats(),
+        jobs=2,
+        obs=Obs(),
+    )
+    assert_metrics_identical(direct, kitchen_sink)

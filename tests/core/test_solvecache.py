@@ -35,6 +35,14 @@ def best():
     return optimize(TECH, SPEC, TARGET)
 
 
+def put_and_flush(path, *args) -> SolveCache:
+    """One persisted record: ``put`` only marks dirty, ``flush`` writes."""
+    cache = SolveCache(path)
+    cache.put(*args)
+    cache.flush()
+    return cache
+
+
 class TestSerialization:
     def test_round_trip_identity(self, best):
         assert metrics_from_dict(metrics_to_dict(best)) == best
@@ -59,6 +67,29 @@ class TestSolveKey:
         other_spec = dataclasses.replace(SPEC, output_bits=256)
         assert solve_key(other_spec, TARGET, 32.0) != base
 
+    def test_numeric_type_insensitive(self):
+        """``node_nm=32`` and ``node_nm=32.0`` are the same solve.
+
+        Regression: JSON encodes ints and floats differently, so the raw
+        payload used to hash the same physical request to two keys.
+        """
+        assert solve_key(SPEC, TARGET, 32) == solve_key(SPEC, TARGET, 32.0)
+
+    def test_numeric_type_insensitive_in_nested_fields(self):
+        int_target = OptimizationTarget(max_area_fraction=1)
+        float_target = OptimizationTarget(max_area_fraction=1.0)
+        assert solve_key(SPEC, int_target, 32.0) == solve_key(
+            SPEC, float_target, 32.0
+        )
+
+    def test_bools_stay_distinct_from_ints(self):
+        """Normalization must not collapse True onto 1.0."""
+        from repro.core.solvecache import _normalize_numbers
+
+        normalized = _normalize_numbers({"flag": True, "count": 1})
+        assert normalized["flag"] is True
+        assert isinstance(normalized["count"], float)
+
 
 class TestSolveCache:
     def test_put_get(self, tmp_path, best):
@@ -70,7 +101,7 @@ class TestSolveCache:
 
     def test_persists_across_instances(self, tmp_path, best):
         path = tmp_path / "c.json"
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         assert SolveCache(path).get(SPEC, TARGET, 32.0) == best
 
     def test_missing_file_is_empty(self, tmp_path):
@@ -84,11 +115,12 @@ class TestSolveCache:
         assert len(cache) == 0
         # And still usable for writes afterwards.
         cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
         assert SolveCache(path).get(SPEC, TARGET, 32.0) == best
 
     def test_version_mismatch_discards_records(self, tmp_path, best):
         path = tmp_path / "c.json"
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         payload = json.loads(path.read_text())
         payload["version"] = "some-older-version"
         path.write_text(json.dumps(payload))
@@ -96,12 +128,12 @@ class TestSolveCache:
 
     def test_version_stamp_written(self, tmp_path, best):
         path = tmp_path / "c.json"
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         assert json.loads(path.read_text())["version"] == CACHE_VERSION
 
     def test_truncated_record_is_a_miss(self, tmp_path, best):
         path = tmp_path / "c.json"
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         payload = json.loads(path.read_text())
         key = next(iter(payload["records"]))
         del payload["records"][key]["rows"]
@@ -126,7 +158,9 @@ class TestConcurrentWriters:
         writer_a = SolveCache(path)
         writer_b = SolveCache(path)
         writer_a.put(SPEC, TARGET, 32.0, best)
+        writer_a.flush()
         writer_b.put(self._other_spec(), TARGET, 32.0, best)
+        writer_b.flush()
         # The second save merged the first one's record from disk.
         fresh = SolveCache(path)
         assert fresh.get(SPEC, TARGET, 32.0) == best
@@ -135,14 +169,14 @@ class TestConcurrentWriters:
     def test_refresh_picks_up_foreign_records(self, tmp_path, best):
         path = tmp_path / "c.json"
         reader = SolveCache(path)
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         assert len(reader) == 0
         reader.refresh()
         assert reader.get(SPEC, TARGET, 32.0) == best
 
     def test_save_leaves_no_temp_files(self, tmp_path, best):
         path = tmp_path / "c.json"
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
 
     def test_atomic_write_via_os_replace(self, tmp_path, best, monkeypatch):
@@ -159,8 +193,119 @@ class TestConcurrentWriters:
 
         monkeypatch.setattr("repro.core.solvecache.os.replace", spy)
         path = tmp_path / "c.json"
-        SolveCache(path).put(SPEC, TARGET, 32.0, best)
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
         assert len(replaced) == 1
         src, dst = replaced[0]
         assert dst == str(path)
         assert src != dst and str(os_module.getpid()) in src
+
+
+def count_replaces(monkeypatch) -> list:
+    """Spy on the cache's atomic-rename calls (one per file write)."""
+    import os as os_module
+
+    replaced = []
+    real_replace = os_module.replace
+
+    def spy(src, dst):
+        replaced.append((str(src), str(dst)))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr("repro.core.solvecache.os.replace", spy)
+    return replaced
+
+
+class TestFlushSemantics:
+    """put() marks dirty; flush() writes; ``with`` defers nested flushes."""
+
+    def test_put_does_not_touch_disk(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        cache = SolveCache(path)
+        cache.put(SPEC, TARGET, 32.0, best)
+        assert not path.exists()
+        # The record is still served from memory before any flush.
+        assert cache.get(SPEC, TARGET, 32.0) == best
+
+    def test_flush_writes_once_then_noops(
+        self, tmp_path, best, monkeypatch
+    ):
+        replaced = count_replaces(monkeypatch)
+        cache = SolveCache(tmp_path / "c.json")
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        cache.flush()  # clean cache: nothing to write
+        assert len(replaced) == 1
+
+    def test_many_puts_one_write(self, tmp_path, best, monkeypatch):
+        replaced = count_replaces(monkeypatch)
+        cache = SolveCache(tmp_path / "c.json")
+        for node in range(32, 64):
+            cache.put(SPEC, TARGET, float(node), best)
+        cache.flush()
+        assert len(replaced) == 1
+        assert len(SolveCache(cache.path)) == 32
+
+    def test_context_manager_defers_nested_flushes(
+        self, tmp_path, best, monkeypatch
+    ):
+        replaced = count_replaces(monkeypatch)
+        cache = SolveCache(tmp_path / "c.json")
+        with cache:
+            for node in (32.0, 45.0):
+                cache.put(SPEC, TARGET, node, best)
+                cache.flush()  # the per-solve boundary flush, deferred
+            assert len(replaced) == 0
+        assert len(replaced) == 1
+        assert len(SolveCache(cache.path)) == 2
+
+    def test_nested_contexts_flush_at_outermost_exit(
+        self, tmp_path, best, monkeypatch
+    ):
+        replaced = count_replaces(monkeypatch)
+        cache = SolveCache(tmp_path / "c.json")
+        with cache:  # batch boundary
+            with cache:  # solve boundary
+                cache.put(SPEC, TARGET, 32.0, best)
+            assert len(replaced) == 0
+        assert len(replaced) == 1
+
+    def test_clean_context_exit_does_not_write(
+        self, tmp_path, best, monkeypatch
+    ):
+        replaced = count_replaces(monkeypatch)
+        cache = SolveCache(tmp_path / "c.json")
+        with cache:
+            assert cache.get(SPEC, TARGET, 32.0) is None
+        assert replaced == []
+
+
+class TestBatchWriteCount:
+    """A whole batch of solves costs O(1) cache-file writes."""
+
+    def test_solve_batch_single_write(self, tmp_path, best, monkeypatch):
+        from repro.core import optimizer as optimizer_module
+        from repro.core.cacti import solve_batch
+        from repro.core.config import MemorySpec
+
+        # The write-count contract is independent of what the sweep
+        # finds, so skip the expensive candidate evaluation entirely.
+        monkeypatch.setattr(
+            optimizer_module,
+            "feasible_designs",
+            lambda tech, spec, **kwargs: [best],
+        )
+        replaced = count_replaces(monkeypatch)
+        specs = [
+            MemorySpec(
+                capacity_bytes=(16 << 10) * (i + 1),
+                block_bytes=64,
+                associativity=None,
+                node_nm=32.0,
+            )
+            for i in range(24)
+        ]
+        cache = SolveCache(tmp_path / "c.json")
+        solutions = solve_batch(specs, solve_cache=cache, jobs=1)
+        assert len(solutions) == 24
+        assert len(replaced) == 1
+        assert len(SolveCache(cache.path)) == 24

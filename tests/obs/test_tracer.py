@@ -1,0 +1,150 @@
+"""Unit tests for the tracing spans and their exports."""
+
+import json
+
+from repro.obs.trace import Tracer
+
+
+def make_nested_trace() -> Tracer:
+    t = Tracer()
+    with t.span("solve", capacity=64):
+        with t.span("prefilter"):
+            pass
+        with t.span("build", candidates=3):
+            with t.span("chunk"):
+                pass
+    return t
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        t = make_nested_trace()
+        by_name = {s.name: s for s in t.spans}
+        assert by_name["solve"].parent is None
+        assert by_name["prefilter"].parent == by_name["solve"].id
+        assert by_name["build"].parent == by_name["solve"].id
+        assert by_name["chunk"].parent == by_name["build"].id
+
+    def test_depths(self):
+        t = make_nested_trace()
+        depths = {s.name: s.depth for s in t.spans}
+        assert depths == {"solve": 0, "prefilter": 1, "build": 1, "chunk": 2}
+
+    def test_time_containment(self):
+        """Every child span lies within its parent's interval."""
+        t = make_nested_trace()
+        by_id = {s.id: s for s in t.spans}
+        for s in t.spans:
+            if s.parent is None:
+                continue
+            parent = by_id[s.parent]
+            assert s.start_s >= parent.start_s
+            assert (
+                s.start_s + s.duration_s
+                <= parent.start_s + parent.duration_s + 1e-9
+            )
+
+    def test_duration_finalized_on_exception(self):
+        t = Tracer()
+        try:
+            with t.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(t.spans) == 1
+        assert t.spans[0].duration_s >= 0.0
+
+    def test_attrs_mutable_while_open(self):
+        t = Tracer()
+        with t.span("solve") as span:
+            span.attrs["result"] = "hit"
+        assert t.spans[0].attrs == {"result": "hit"}
+
+
+class TestExport:
+    def test_to_dicts_sorted_by_start(self):
+        t = make_nested_trace()
+        dicts = t.to_dicts()
+        starts = [d["start_s"] for d in dicts]
+        assert starts == sorted(starts)
+        assert dicts[0]["name"] == "solve"
+
+    def test_chrome_trace_shape(self):
+        t = make_nested_trace()
+        doc = t.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 4
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["cat"] == "repro"
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert e["pid"] == t.pid
+        args = {e["name"]: e["args"] for e in events}
+        assert args["solve"] == {"capacity": 64}
+
+    def test_chrome_trace_round_trips_through_json(self, tmp_path):
+        t = make_nested_trace()
+        path = tmp_path / "trace.json"
+        t.write_chrome(path)
+        doc = json.loads(path.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} == {
+            "solve", "prefilter", "build", "chunk",
+        }
+
+    def test_write_json_flat_spans(self, tmp_path):
+        t = make_nested_trace()
+        path = tmp_path / "spans.json"
+        t.write_json(path)
+        dicts = json.loads(path.read_text())
+        assert [d["name"] for d in dicts] == [
+            "solve", "prefilter", "build", "chunk",
+        ]
+
+
+class TestWorkerStitching:
+    def test_absorb_rebases_onto_parent_timeline(self):
+        parent = Tracer()
+        worker = Tracer()
+        # Pretend the worker's process started 10 wall-clock seconds
+        # after the parent's.
+        worker.epoch_wall = parent.epoch_wall + 10.0
+        worker.pid = parent.pid + 1
+        with worker.span("chunk"):
+            pass
+        with parent.span("build"):
+            pass
+        worker_start = worker.spans[0].start_s
+        parent.absorb_payload(worker.export_payload())
+        stitched = [s for s in parent.spans if s.name == "chunk"]
+        assert len(stitched) == 1
+        assert stitched[0].start_s == worker_start + 10.0
+        # The worker's pid survives so it renders as its own track.
+        assert stitched[0].pid == parent.pid + 1
+
+    def test_absorb_renumbers_ids_without_collisions(self):
+        parent = Tracer()
+        with parent.span("a"):
+            pass
+        worker = Tracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent.absorb_payload(worker.export_payload())
+        ids = [s.id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["inner"].parent == by_name["outer"].id
+
+    def test_absorb_none_is_a_noop(self):
+        parent = Tracer()
+        parent.absorb_payload(None)
+        parent.absorb_payload({})
+        assert len(parent) == 0
+
+    def test_export_payload_is_plain_data(self):
+        t = make_nested_trace()
+        payload = t.export_payload()
+        json.dumps(payload)  # picklable and JSON-safe: no live objects
+        assert payload["pid"] == t.pid
+        assert len(payload["spans"]) == 4

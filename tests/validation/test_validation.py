@@ -93,6 +93,15 @@ class TestTargets:
         assert percent_error(1.1, 1.0) == pytest.approx(0.1)
         assert percent_error(0.9, 1.0) == pytest.approx(-0.1)
 
+    def test_percent_error_zero_target_met_exactly(self):
+        assert percent_error(0.0, 0.0) == 0.0
+
+    def test_percent_error_zero_target_missed_raises_value_error(self):
+        """ValueError, not ZeroDivisionError: the CLI's clean-exit path
+        catches ValueError and reports the message at exit code 2."""
+        with pytest.raises(ValueError, match="zero target"):
+            percent_error(1.0, 0.0)
+
 
 class TestCrossNodeTrends:
     """Commodity DRAM across nodes: the trends real parts exhibit."""
