@@ -5,9 +5,14 @@ Usage::
     python -m repro cache --capacity 2M --assoc 8 --tech lp-dram
     python -m repro main-memory --capacity 1G --node 78 --pins 8
     python -m repro validate-ddr3
-    python -m repro table3
+    python -m repro table3 --resume table3.journal
+    python -m repro study --configs nol3,sram --on-error retry
+    python -m repro sweep --capacity 2M --parameter capacity_bytes \
+        --values 1M,2M,4M,8M
 
-Sizes accept K/M/G suffixes (powers of two).
+Sizes accept K/M/G suffixes (powers of two).  Long runs take
+``--on-error {raise,skip,retry}``, ``--retries``, ``--task-timeout``,
+and ``--resume PATH`` (checkpoint journal) fault-tolerance knobs.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.core.config import (
     OptimizationTarget,
 )
 from repro.core.optimizer import NoFeasibleSolution, SweepStats
+from repro.core.resilience import ON_ERROR_POLICIES, Journal, ResiliencePolicy
 from repro.core.solvecache import SolveCache
 from repro.obs import Obs
 from repro.tech.cells import CellTech
@@ -108,9 +114,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "table3", help="solve the LLC study's Table 3 columns"
     )
 
+    study = sub.add_parser(
+        "study", help="run the LLC study matrix (apps x configurations)"
+    )
+    study.add_argument("--apps", default=None, metavar="A,B,...",
+                       help="comma-separated app subset (default: all)")
+    study.add_argument("--configs", default=None, metavar="C1,C2,...",
+                       help="comma-separated configuration subset "
+                            "(default: all six)")
+    study.add_argument("--source", default="paper",
+                       choices=("paper", "cacti"),
+                       help="latency/energy source: published Table 3 "
+                            "values or the live solver")
+    study.add_argument("--scale", type=int, default=16,
+                       help="capacity-scaling factor for tractable runs")
+    study.add_argument("--instructions", type=int, default=None,
+                       metavar="N", help="instructions per thread")
+    study.add_argument("--seed", type=int, default=1234)
+
+    sweep = sub.add_parser(
+        "sweep", help="sensitivity sweep of one spec parameter"
+    )
+    sweep.add_argument("--capacity", required=True, type=_size_arg)
+    sweep.add_argument("--block", type=_size_arg, default=64)
+    sweep.add_argument("--assoc", type=int, default=8,
+                       help="associativity; 0 for a plain RAM")
+    sweep.add_argument("--banks", type=int, default=1)
+    sweep.add_argument("--node", type=float, default=32.0)
+    sweep.add_argument("--tech", default="sram",
+                       choices=[t.value for t in CellTech])
+    sweep.add_argument("--parameter", required=True,
+                       help="spec field to sweep (e.g. capacity_bytes)")
+    sweep.add_argument("--values", required=True, metavar="V1,V2,...",
+                       help="comma-separated sweep values (sizes accept "
+                            "K/M/G suffixes)")
+    sweep.add_argument("--optimize", default="balanced",
+                       choices=sorted(_PRESETS))
+
     # Every subcommand ultimately runs the same solver, so every
     # subcommand gets the same solver knobs and observability outputs.
-    for solver in (cache, mm, validate, table3):
+    for solver in (cache, mm, validate, table3, study, sweep):
         solver.add_argument(
             "--cache", metavar="PATH", default=None, dest="cache_path",
             help="persistent solve-cache file (JSON); repeated identical "
@@ -136,17 +179,58 @@ def _build_parser() -> argparse.ArgumentParser:
             help="write a JSON metrics snapshot of the run (counters, "
                  "gauges, latency histograms, cache hit rates)",
         )
+    # Fault-tolerance knobs (the validate command solves a fixed small
+    # set serially, so it keeps the plain fail-fast path).
+    for solver in (cache, mm, table3, study, sweep):
+        solver.add_argument(
+            "--on-error", default="raise", choices=ON_ERROR_POLICIES,
+            dest="on_error",
+            help="task-failure policy: fail fast, skip the task "
+                 "(recorded, run continues), or retry with backoff",
+        )
+        solver.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="retry attempts per task (with --on-error retry)",
+        )
+        solver.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            dest="task_timeout",
+            help="per-task wall-clock budget; overdue tasks are "
+                 "cancelled (parallel runs only)",
+        )
+        solver.add_argument(
+            "--resume", metavar="PATH", default=None,
+            help="checkpoint journal: completed work is recorded here "
+                 "and restored on the next run with the same --resume",
+        )
     return parser
 
 
 def _solver_knobs(args: argparse.Namespace) -> tuple:
-    """The optional solve cache, stats accumulator, and tracer for a run."""
+    """The optional solve cache, stats accumulator, tracer, and
+    resilience policy for a run."""
     solve_cache = (
         SolveCache(args.cache_path) if args.cache_path is not None else None
     )
     stats = SweepStats() if args.stats else None
     obs = Obs() if (args.trace or args.metrics) else None
-    return solve_cache, stats, obs
+    return solve_cache, stats, obs, _resilience_policy(args)
+
+
+def _resilience_policy(args: argparse.Namespace) -> ResiliencePolicy | None:
+    """A policy from the CLI flags, or None when every flag is default
+    (the plain fail-fast engine, no journal)."""
+    on_error = getattr(args, "on_error", "raise")
+    timeout = getattr(args, "task_timeout", None)
+    resume = getattr(args, "resume", None)
+    if on_error == "raise" and timeout is None and resume is None:
+        return None
+    return ResiliencePolicy(
+        on_error=on_error,
+        max_retries=getattr(args, "retries", 2),
+        timeout_s=timeout,
+        journal=Journal(resume) if resume is not None else None,
+    )
 
 
 def _print_stats(stats: SweepStats | None) -> None:
@@ -177,7 +261,7 @@ def _run_cache(args: argparse.Namespace) -> int:
                      else AccessMode.NORMAL),
         sleep_transistors=args.sleep_transistors,
     )
-    solve_cache, stats, obs = _solver_knobs(args)
+    solve_cache, stats, obs, resilience = _solver_knobs(args)
     solution = solve(
         spec,
         _PRESETS[args.optimize],
@@ -185,6 +269,7 @@ def _run_cache(args: argparse.Namespace) -> int:
         stats=stats,
         jobs=args.jobs,
         obs=obs,
+        resilience=resilience,
     )
     print(solution.summary())
     _print_stats(stats)
@@ -200,7 +285,7 @@ def _run_main_memory(args: argparse.Namespace) -> int:
         burst_length=args.burst,
         page_bits=args.page,
     )
-    solve_cache, stats, obs = _solver_knobs(args)
+    solve_cache, stats, obs, resilience = _solver_knobs(args)
     solution = solve_main_memory(
         spec,
         node_nm=args.node,
@@ -208,6 +293,7 @@ def _run_main_memory(args: argparse.Namespace) -> int:
         stats=stats,
         jobs=args.jobs,
         obs=obs,
+        resilience=resilience,
     )
     print(solution.summary())
     _print_stats(stats)
@@ -218,7 +304,7 @@ def _run_main_memory(args: argparse.Namespace) -> int:
 def _run_validate(args: argparse.Namespace) -> int:
     from repro.validation.compare import validate_ddr3
 
-    solve_cache, stats, obs = _solver_knobs(args)
+    solve_cache, stats, obs, _unused = _solver_knobs(args)
     validation = validate_ddr3(
         solve_cache=solve_cache, stats=stats, jobs=args.jobs, obs=obs
     )
@@ -231,7 +317,7 @@ def _run_validate(args: argparse.Namespace) -> int:
 def _run_table3(args: argparse.Namespace) -> int:
     from repro.study.table3 import solve_table3
 
-    solve_cache, stats, obs = _solver_knobs(args)
+    solve_cache, stats, obs, resilience = _solver_knobs(args)
     # Pass only the live knobs: a knob-free call keeps table3's memo of
     # already-solved rows (and a second `repro table3` stays fast).
     knobs = {}
@@ -243,6 +329,8 @@ def _run_table3(args: argparse.Namespace) -> int:
         knobs["obs"] = obs
     if args.jobs != 1:
         knobs["jobs"] = args.jobs
+    if resilience is not None:
+        knobs["resilience"] = resilience
     for name, row in solve_table3(**knobs).items():
         cap = row.capacity_bytes
         cap_str = (f"{cap >> 20}MB" if cap >= 1 << 20 else f"{cap >> 10}KB")
@@ -257,11 +345,138 @@ def _run_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_failures(failed) -> None:
+    if failed:
+        print(f"warning: {len(failed)} task(s) failed:", file=sys.stderr)
+        for failure in failed:
+            print(f"  {failure}", file=sys.stderr)
+
+
+def _run_study(args: argparse.Namespace) -> int:
+    from repro.study.runner import run_study
+    from repro.study.table3 import CONFIG_NAMES
+    from repro.workloads.npb import NPB_PROFILES
+
+    profiles = NPB_PROFILES
+    if args.apps is not None:
+        wanted = [a.strip() for a in args.apps.split(",") if a.strip()]
+        known = {p.name: p for p in NPB_PROFILES}
+        missing = [a for a in wanted if a not in known]
+        if missing:
+            raise ValueError(
+                f"unknown app(s) {missing}; choose from {sorted(known)}"
+            )
+        profiles = tuple(known[a] for a in wanted)
+    configs = CONFIG_NAMES
+    if args.configs is not None:
+        configs = tuple(
+            c.strip() for c in args.configs.split(",") if c.strip()
+        )
+        unknown = [c for c in configs if c not in CONFIG_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown configuration(s) {unknown}; "
+                f"choose from {list(CONFIG_NAMES)}"
+            )
+    _solve_cache, stats, obs, resilience = _solver_knobs(args)
+    result = run_study(
+        profiles=profiles,
+        configs=configs,
+        source=args.source,
+        scale=args.scale,
+        instructions_per_thread=args.instructions,
+        seed=args.seed,
+        jobs=args.jobs,
+        obs=obs,
+        resilience=resilience,
+        stats=stats,
+    )
+    header = "app".ljust(10) + "".join(c.rjust(12) for c in configs)
+    print(header)
+    for app in result.app_names:
+        cells = []
+        for config in configs:
+            run = result.results.get((app, config))
+            cells.append("-".rjust(12) if run is None
+                         else f"{run.ipc:.3f}".rjust(12))
+        print(app.ljust(10) + "".join(cells))
+    if "nol3" in configs and not result.failed:
+        for config in configs:
+            if config == "nol3":
+                continue
+            print(
+                f"{config:<12} execution reduction "
+                f"{result.mean_execution_reduction(config) * 100:+5.1f}%  "
+                "energy-delay improvement "
+                f"{result.mean_energy_delay_improvement(config) * 100:+5.1f}%"
+            )
+    _print_failures(result.failed)
+    _print_stats(stats)
+    _write_obs(args, obs)
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.study.sensitivity import SWEEPABLE, sweep
+
+    if args.parameter not in SWEEPABLE:
+        raise ValueError(
+            f"cannot sweep {args.parameter!r}; choose one of {SWEEPABLE}"
+        )
+    raw = [v.strip() for v in args.values.split(",") if v.strip()]
+    if not raw:
+        raise ValueError("--values needs at least one value")
+    if args.parameter in ("capacity_bytes", "block_bytes"):
+        values = [parse_size(v) for v in raw]
+    elif args.parameter == "node_nm":
+        values = [float(v) for v in raw]
+    else:
+        values = [int(v) for v in raw]
+    base = MemorySpec(
+        capacity_bytes=args.capacity,
+        block_bytes=args.block,
+        associativity=args.assoc or None,
+        nbanks=args.banks,
+        node_nm=args.node,
+        cell_tech=CellTech(args.tech),
+    )
+    solve_cache, stats, obs, resilience = _solver_knobs(args)
+    result = sweep(
+        base,
+        args.parameter,
+        values,
+        _PRESETS[args.optimize],
+        solve_cache=solve_cache,
+        stats=stats,
+        jobs=args.jobs,
+        obs=obs,
+        resilience=resilience,
+    )
+    for point in result.points:
+        if point.solution is None:
+            print(f"{point.value:>14g}  infeasible")
+            continue
+        s = point.solution
+        print(
+            f"{point.value:>14g}  access={s.access_time * 1e9:.3f} ns  "
+            f"E_rd={s.e_read_nj:.3f} nJ  area={s.area_mm2:.2f} mm2  "
+            f"eff={s.area_efficiency * 100:.1f}%"
+        )
+    print()
+    print(result.report())
+    _print_failures(result.failed)
+    _print_stats(stats)
+    _write_obs(args, obs)
+    return 0
+
+
 _HANDLERS = {
     "cache": _run_cache,
     "main-memory": _run_main_memory,
     "validate-ddr3": _run_validate,
     "table3": _run_table3,
+    "study": _run_study,
+    "sweep": _run_sweep,
 }
 
 

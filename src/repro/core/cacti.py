@@ -43,6 +43,7 @@ from repro.core.config import (
 )
 from repro.core import parallel
 from repro.core.optimizer import SweepStats, optimize
+from repro.core.resilience import ResiliencePolicy, TaskFailure, task_key
 from repro.core.results import Solution
 from repro.core.solvecache import SolveCache
 from repro.obs import Obs, maybe_span
@@ -101,6 +102,7 @@ def solve(
     stats: SweepStats | None = None,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> Solution:
     """Solve ``spec``, returning the optimizer's best design point.
 
@@ -110,8 +112,9 @@ def solve(
     disk (flushed once at the solve boundary); ``stats`` accumulates
     :class:`~repro.core.optimizer.SweepStats` counters; ``jobs``
     parallelizes candidate construction inside each array sweep;
-    ``obs`` records a ``solve`` span with nested data/tag array sweeps.
-    None of them changes the returned numbers.
+    ``obs`` records a ``solve`` span with nested data/tag array sweeps;
+    ``resilience`` governs worker-chunk failures inside parallel
+    sweeps.  None of them changes the returned numbers.
     """
     target = target or OptimizationTarget()
     tech = technology(spec.node_nm)
@@ -138,6 +141,7 @@ def solve(
                     stats=stats,
                     jobs=jobs,
                     obs=obs,
+                    resilience=resilience,
                 )
             tag = None
             if spec.is_cache:
@@ -151,22 +155,41 @@ def solve(
                         stats=stats,
                         jobs=jobs,
                         obs=obs,
+                        resilience=resilience,
                     )
     return Solution(spec=spec, data=data, tag=tag)
+
+
+class BatchOutcome(list):
+    """A ``list`` of solutions that also carries partial-failure facts.
+
+    Behaves exactly like the plain list :func:`solve_batch` always
+    returned (indexing, iteration, equality), with one addition: under
+    a skip/retry resilience policy, slots whose solves failed
+    terminally hold ``None`` and the corresponding
+    :class:`~repro.core.resilience.TaskFailure` records live in
+    ``failed`` (empty on a fully successful batch).
+    """
+
+    def __init__(self, solutions, failed=()):
+        super().__init__(solutions)
+        self.failed: tuple[TaskFailure, ...] = tuple(failed)
 
 
 def _solve_batch_task(payload: tuple) -> tuple[Solution, dict]:
     """Worker task: one full spec solve with worker-local caches.
 
-    The worker opens its own :class:`SolveCache` on the shared path
-    (safe: saves are atomic and merge concurrently-written records) and
-    ships its :class:`SweepStats` home as a plain dict -- with its
-    local spans/metrics under ``"obs"`` when the parent traces.
+    The worker keeps one :class:`SolveCache` per shared path for its
+    whole life (safe: saves are atomic and merge concurrently-written
+    records; worker-local memoization means the JSON records parse once
+    per worker, not once per task) and ships its :class:`SweepStats`
+    home as a plain dict -- with its local spans/metrics under
+    ``"obs"`` when the parent traces.
     """
     spec, target, cache_path, with_obs = payload
     stats = SweepStats()
     obs = Obs() if with_obs else None
-    solve_cache = SolveCache(cache_path) if cache_path is not None else None
+    solve_cache = parallel.worker_solve_cache(cache_path)
     solution = solve(
         spec,
         target,
@@ -190,6 +213,7 @@ def solve_batch(
     stats: SweepStats | None = None,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> list[Solution]:
     """Solve independent specs, returning solutions in spec order.
 
@@ -202,6 +226,12 @@ def solve_batch(
     flushes to the batch boundary, so the cache file is rewritten once
     per batch, not once per record.  The returned solutions are
     bit-identical to the serial path at any job count.
+
+    ``resilience`` makes the batch fault tolerant: failed solves are
+    retried/skipped/raised per the policy, a journal checkpoints each
+    completed spec (resume re-solves only the unfinished ones), and in
+    skip/retry mode the returned :class:`BatchOutcome` carries ``None``
+    at failed slots plus the failures in ``.failed``.
     """
     specs = list(specs)
     if target is None or isinstance(target, OptimizationTarget):
@@ -214,6 +244,10 @@ def solve_batch(
             )
     jobs = parallel.resolve_jobs(jobs)
     t0 = time.perf_counter()
+    if resilience is not None:
+        return _solve_batch_resilient(
+            specs, targets, solve_cache, stats, jobs, obs, resilience, t0
+        )
     with maybe_span(
         obs, "batch", specs=len(specs), jobs=jobs
     ) as batch_span:
@@ -272,6 +306,64 @@ def solve_batch(
     if obs is not None:
         obs.observe("phase.batch_s", time.perf_counter() - t0)
     return solutions
+
+
+def _solve_batch_resilient(
+    specs, targets, solve_cache, stats, jobs, obs, resilience, t0
+) -> BatchOutcome:
+    """The fault-tolerant batch path (any job count).
+
+    Every spec runs through the same worker-task shape at every job
+    count, so a journal written by a parallel run resumes a serial one
+    and vice versa; in-process execution reuses the process-local
+    eval/solve caches exactly as a worker would.
+    """
+    cache_path = (
+        os.fspath(solve_cache.path) if solve_cache is not None else None
+    )
+    keys = None
+    if resilience.journal is not None:
+        keys = [
+            task_key(
+                "batch.solve",
+                {"spec": spec, "target": tgt or OptimizationTarget()},
+            )
+            for spec, tgt in zip(specs, targets)
+        ]
+    with maybe_span(obs, "batch", specs=len(specs), jobs=jobs):
+        outcomes = parallel.parallel_map(
+            _solve_batch_task,
+            [
+                (spec, tgt, cache_path, obs is not None)
+                for spec, tgt in zip(specs, targets)
+            ],
+            jobs,
+            obs=obs,
+            span_name="batch.solve",
+            resilience=resilience,
+            keys=keys,
+            stats=stats,
+        )
+    solutions = []
+    failures = []
+    for outcome in outcomes:
+        if isinstance(outcome, TaskFailure):
+            failures.append(outcome)
+            solutions.append(None)
+            continue
+        solution, worker_stats = outcome
+        solutions.append(solution)
+        if stats is not None:
+            stats.absorb_worker(worker_stats)
+        if obs is not None:
+            obs.absorb_worker(worker_stats.get("obs"))
+    if solve_cache is not None:
+        solve_cache.refresh()
+    if stats is not None:
+        stats.add_phase_time("batch", time.perf_counter() - t0)
+    if obs is not None:
+        obs.observe("phase.batch_s", time.perf_counter() - t0)
+    return BatchOutcome(solutions, failures)
 
 
 @dataclass(frozen=True)
@@ -367,6 +459,7 @@ def solve_main_memory(
     stats: SweepStats | None = None,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> MainMemorySolution:
     """Solve a main-memory DRAM chip at ``node_nm``.
 
@@ -391,6 +484,7 @@ def solve_main_memory(
             stats=stats,
             jobs=jobs,
             obs=obs,
+            resilience=resilience,
         )
         with maybe_span(obs, "derive_interface"):
             timing = derive_timing(spec, metrics, clock_period)
@@ -417,7 +511,11 @@ class CactiD:
     """
 
     def __init__(
-        self, node_nm: float = 32.0, cache_path=None, obs: Obs | None = None
+        self,
+        node_nm: float = 32.0,
+        cache_path=None,
+        obs: Obs | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.node_nm = node_nm
         self.eval_cache = EvalCache()
@@ -426,6 +524,7 @@ class CactiD:
         )
         self.stats = SweepStats()
         self.obs = obs
+        self.resilience = resilience
 
     @cached_property
     def technology(self) -> Technology:
@@ -446,6 +545,7 @@ class CactiD:
             stats=self.stats,
             jobs=jobs,
             obs=self.obs,
+            resilience=self.resilience,
         )
 
     def solve_batch(
@@ -472,6 +572,7 @@ class CactiD:
             stats=self.stats,
             jobs=jobs,
             obs=self.obs,
+            resilience=self.resilience,
         )
 
     def solve_main_memory(
@@ -491,6 +592,7 @@ class CactiD:
             stats=self.stats,
             jobs=jobs,
             obs=self.obs,
+            resilience=self.resilience,
         )
 
     def _check_node(self, spec: MemorySpec) -> None:

@@ -73,6 +73,10 @@ class SweepStats:
     htree_misses: int = 0
     solve_cache_hits: int = 0  #: whole solves served from the disk cache
     solve_cache_misses: int = 0
+    retries: int = 0  #: task attempts re-run under a resilience policy
+    pool_rebuilds: int = 0  #: worker pools torn down and rebuilt
+    timeouts: int = 0  #: tasks cancelled for exceeding their wall clock
+    tasks_failed: int = 0  #: tasks that failed terminally (skip/retry)
     wall_time_s: float = 0.0  #: total optimizer wall time
     worker_time_s: float = 0.0  #: wall time summed across worker processes
     workers_absorbed: int = 0  #: worker stats payloads merged in
@@ -92,6 +96,10 @@ class SweepStats:
         "htree_misses",
         "solve_cache_hits",
         "solve_cache_misses",
+        "retries",
+        "pool_rebuilds",
+        "timeouts",
+        "tasks_failed",
     )
 
     @property
@@ -121,6 +129,10 @@ class SweepStats:
             "htree_misses": self.htree_misses,
             "solve_cache_hits": self.solve_cache_hits,
             "solve_cache_misses": self.solve_cache_misses,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "timeouts": self.timeouts,
+            "tasks_failed": self.tasks_failed,
             "prefilter_rate": self.prefilter_rate,
             "subarray_hit_rate": self.subarray_hit_rate,
             "htree_hit_rate": self.htree_hit_rate,
@@ -149,6 +161,13 @@ class SweepStats:
             f"{self.solve_cache_misses} misses",
             f"wall time             : {self.wall_time_s * 1e3:.1f} ms",
         ]
+        if self.retries or self.timeouts or self.tasks_failed \
+                or self.pool_rebuilds:
+            lines.append(
+                f"resilience            : {self.retries} retries, "
+                f"{self.timeouts} timeouts, {self.tasks_failed} failed, "
+                f"{self.pool_rebuilds} pool rebuilds"
+            )
         if self.workers_absorbed:
             lines.append(
                 f"workers               : {self.workers_absorbed} payloads, "
@@ -223,6 +242,7 @@ def feasible_designs(
     prefilter: bool = True,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience=None,
 ) -> list[ArrayMetrics]:
     """Evaluate every feasible partitioning of ``spec``.
 
@@ -235,6 +255,13 @@ def feasible_designs(
     prefilter/build spans and candidate/cache metrics.  None of them
     affects the returned metrics: the design list is bit-identical in
     every mode, including its order.
+
+    ``resilience`` (a :class:`~repro.core.resilience.ResiliencePolicy`)
+    applies to the parallel build only: crashed or hung candidate
+    chunks are retried per the policy (a retried chunk rebuilds the
+    same designs, so the sweep stays bit-identical), and in skip mode a
+    terminally failed chunk's candidates are dropped from the feasible
+    set -- narrowing the search space, never corrupting it.
     """
     if stats is not None and cache is not None:
         stats._mark_eval_cache(cache)
@@ -258,6 +285,7 @@ def feasible_designs(
             designs, worker_stats = parallel.build_designs_parallel(
                 tech.node_nm, spec, candidates, jobs,
                 with_obs=obs is not None,
+                resilience=resilience, stats=stats, obs=obs,
             )
         grid = org_grid_size(spec)
         if stats is not None:
@@ -430,6 +458,7 @@ def optimize(
     stats: SweepStats | None = None,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience=None,
 ) -> ArrayMetrics:
     """Full pipeline: enumerate, filter, rank; return the best design.
 
@@ -441,7 +470,8 @@ def optimize(
     construction over worker processes (``1`` = serial, ``<= 0`` = all
     cores); ``obs`` records an ``optimize`` span with nested
     prefilter/build/rank children plus cache-hit metrics.  None of them
-    changes any returned number.
+    changes any returned number.  ``resilience`` makes the parallel
+    candidate build fault tolerant (see :func:`feasible_designs`).
     """
     t0 = time.perf_counter()
     with maybe_span(
@@ -476,7 +506,8 @@ def optimize(
             eval_cache = EvalCache()
         swept = _with_repeater_penalty(spec, target)
         designs = feasible_designs(
-            tech, swept, cache=eval_cache, stats=stats, jobs=jobs, obs=obs
+            tech, swept, cache=eval_cache, stats=stats, jobs=jobs, obs=obs,
+            resilience=resilience,
         )
         with obs_phase("rank", obs, stats, designs=len(designs)):
             best = rank(filter_constraints(designs, target), target)[0]

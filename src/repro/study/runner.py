@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from functools import partial
 
 from repro.core import parallel
+from repro.core.resilience import ResiliencePolicy, TaskFailure, task_key
 from repro.obs import Obs, maybe_span
 from repro.power.hierarchy import PowerBreakdown, hierarchy_power
 from repro.power.system import SystemPower, scaled_core_power
@@ -50,11 +51,18 @@ class RunResult:
 
 @dataclass(frozen=True)
 class StudyResult:
-    """The full app x config matrix."""
+    """The full app x config matrix.
+
+    Under a skip/retry :class:`~repro.core.resilience.ResiliencePolicy`
+    the matrix may be partial: cells whose tasks failed terminally are
+    absent from ``results`` and recorded as
+    :class:`~repro.core.resilience.TaskFailure` entries in ``failed``.
+    """
 
     results: dict[tuple[str, str], RunResult]
     config_names: tuple[str, ...]
     app_names: tuple[str, ...]
+    failed: tuple[TaskFailure, ...] = ()
 
     def get(self, app: str, config: str) -> RunResult:
         return self.results[(app, config)]
@@ -180,6 +188,8 @@ def run_study(
     seed: int = 1234,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience: ResiliencePolicy | None = None,
+    stats=None,
 ) -> StudyResult:
     """Run the full study matrix.
 
@@ -190,16 +200,49 @@ def run_study(
     simulation is seeded, so the matrix is identical at any job count.
     ``obs`` traces the matrix (one ``study.cell`` span per cell when
     serial, one enclosing span when parallel) and counts cells run.
+
+    ``resilience`` makes the matrix fault tolerant: failed cells are
+    retried/skipped/raised per the policy, a journal checkpoints each
+    completed cell so an interrupted matrix resumed against the same
+    journal re-runs only the unfinished cells, and terminal failures
+    land in ``StudyResult.failed`` instead of aborting the run.
+    ``stats`` (a :class:`~repro.core.optimizer.SweepStats`) accumulates
+    the resilience counters (retries, timeouts, failures, rebuilds).
+
+    Duplicate profile names or repeated configuration names would
+    silently overwrite each other's matrix cells, so both raise.
     """
     if instructions_per_thread is not None:
         profiles = tuple(
             p.with_instructions(instructions_per_thread) for p in profiles
         )
+    names = [p.name for p in profiles]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate profile names in study: {dupes}")
+    if len(set(configs)) != len(configs):
+        dupes = sorted({c for c in configs if tuple(configs).count(c) > 1})
+        raise ValueError(f"duplicate configurations in study: {dupes}")
     payloads = [
         (profile, config_name, source, scale, seed)
         for profile in profiles
         for config_name in configs
     ]
+    keys = None
+    if resilience is not None and resilience.journal is not None:
+        keys = [
+            task_key(
+                "study.cell",
+                {
+                    "profile": profile,
+                    "config": config_name,
+                    "source": source,
+                    "scale": scale,
+                    "seed": seed,
+                },
+            )
+            for profile, config_name, source, scale, seed in payloads
+        ]
     with maybe_span(
         obs,
         "study",
@@ -209,18 +252,27 @@ def run_study(
         jobs=jobs,
     ):
         outcomes = parallel.parallel_map(
-            _run_one_task, payloads, jobs, obs=obs, span_name="study.cell"
+            _run_one_task,
+            payloads,
+            jobs,
+            obs=obs,
+            span_name="study.cell",
+            resilience=resilience,
+            keys=keys,
+            stats=stats,
         )
     if obs is not None:
         obs.inc("study.cells", len(payloads))
-    results = {
-        (profile.name, config_name): result
-        for (profile, config_name, _, _, _), result in zip(
-            payloads, outcomes
-        )
-    }
+    results = {}
+    failures = []
+    for (profile, config_name, _, _, _), outcome in zip(payloads, outcomes):
+        if isinstance(outcome, TaskFailure):
+            failures.append(outcome)
+            continue
+        results[(profile.name, config_name)] = outcome
     return StudyResult(
         results=results,
         config_names=tuple(configs),
         app_names=tuple(p.name for p in profiles),
+        failed=tuple(failures),
     )

@@ -16,11 +16,16 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
-from repro.array.organization import EvalCache
+from repro.array.organization import EvalCache, InfeasibleOrganization
 from repro.core import parallel
 from repro.core.cacti import solve
 from repro.core.config import MemorySpec, OptimizationTarget
 from repro.core.optimizer import NoFeasibleSolution, SweepStats
+from repro.core.resilience import (
+    ResiliencePolicy,
+    TaskFailure,
+    task_key,
+)
 from repro.core.results import Solution
 from repro.core.solvecache import SolveCache
 from repro.obs import Obs, maybe_span
@@ -61,10 +66,17 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SensitivityResult:
-    """A full one-dimensional sweep."""
+    """A full one-dimensional sweep.
+
+    Under a skip/retry :class:`~repro.core.resilience.ResiliencePolicy`
+    the sweep is allowed to finish partially: points whose tasks failed
+    terminally come back with ``solution=None`` and the corresponding
+    :class:`~repro.core.resilience.TaskFailure` records in ``failed``.
+    """
 
     parameter: str
     points: tuple[SweepPoint, ...]
+    failed: tuple[TaskFailure, ...] = ()
 
     def series(self, metric: str) -> list[tuple[float, float]]:
         """(input value, metric value) pairs for the feasible points."""
@@ -111,12 +123,19 @@ def _sweep_point_task(payload: tuple) -> tuple[Solution | None, dict]:
 
     Returns ``(None, stats)`` for an infeasible point, mirroring the
     serial path's treatment.  When the parent traces, the stats dict
-    carries this worker's spans/metrics under ``"obs"``.
+    carries this worker's spans/metrics under ``"obs"``.  The
+    persistent solve cache is worker-local and keyed by path, so the
+    JSON records load once per worker, not once per point.  Only the
+    *intended* infeasibilities are swallowed -- no feasible
+    organization, or a spec whose geometry cannot divide
+    (``InfeasibleOrganization``); any other error is a genuine model
+    failure and propagates (to be captured as a ``TaskFailure`` when a
+    resilience policy is active).
     """
     spec, target, cache_path, with_obs = payload
     stats = SweepStats()
     obs = Obs() if with_obs else None
-    solve_cache = SolveCache(cache_path) if cache_path is not None else None
+    solve_cache = parallel.worker_solve_cache(cache_path)
     try:
         solution = solve(
             spec,
@@ -126,7 +145,7 @@ def _sweep_point_task(payload: tuple) -> tuple[Solution | None, dict]:
             stats=stats,
             obs=obs,
         )
-    except (NoFeasibleSolution, ValueError):
+    except (NoFeasibleSolution, InfeasibleOrganization):
         solution = None
     stats_dict = stats.as_dict()
     if obs is not None:
@@ -145,6 +164,7 @@ def sweep(
     stats: SweepStats | None = None,
     jobs: int = 1,
     obs: Obs | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> SensitivityResult:
     """Re-solve ``base`` across ``values`` of ``parameter``.
 
@@ -155,6 +175,12 @@ def sweep(
     ``jobs > 1`` solves points concurrently in worker processes (point
     order is preserved, numbers unchanged); ``obs`` traces the sweep
     with one ``sweep.point`` span per point.
+
+    ``resilience`` makes the sweep fault tolerant: failed points are
+    retried/skipped/raised per the policy, a journal checkpoints each
+    completed point (resuming re-solves only the unfinished ones), and
+    terminal failures land in the result's ``failed`` list with
+    ``solution=None`` at the corresponding point.
     """
     if parameter not in SWEEPABLE:
         raise ValueError(
@@ -170,10 +196,13 @@ def sweep(
             specs.append(None)
     jobs = parallel.resolve_jobs(jobs)
     solutions: list[Solution | None]
+    failures: list[TaskFailure] = []
     with maybe_span(
         obs, "sweep", parameter=parameter, points=len(specs), jobs=jobs
     ):
-        if jobs == 1 or sum(s is not None for s in specs) <= 1:
+        if resilience is None and (
+            jobs == 1 or sum(s is not None for s in specs) <= 1
+        ):
             if eval_cache is None:
                 eval_cache = EvalCache()
             solutions = []
@@ -191,7 +220,10 @@ def sweep(
                                     stats=stats,
                                     obs=obs,
                                 )
-                            except (NoFeasibleSolution, ValueError):
+                            except (
+                                NoFeasibleSolution,
+                                InfeasibleOrganization,
+                            ):
                                 solution = None
                     solutions.append(solution)
         else:
@@ -200,6 +232,18 @@ def sweep(
                 if solve_cache is not None else None
             )
             live = [s for s in specs if s is not None]
+            keys = None
+            if resilience is not None and resilience.journal is not None:
+                keys = [
+                    task_key(
+                        "sweep.point",
+                        {
+                            "spec": spec,
+                            "target": target or OptimizationTarget(),
+                        },
+                    )
+                    for spec in live
+                ]
             results = parallel.parallel_map(
                 _sweep_point_task,
                 [
@@ -207,6 +251,10 @@ def sweep(
                     for spec in live
                 ],
                 jobs,
+                span_name="sweep.point",
+                resilience=resilience,
+                keys=keys,
+                stats=stats,
             )
             results_iter = iter(results)
             solutions = []
@@ -214,7 +262,12 @@ def sweep(
                 if spec is None:
                     solutions.append(None)
                     continue
-                solution, worker_stats = next(results_iter)
+                outcome = next(results_iter)
+                if isinstance(outcome, TaskFailure):
+                    failures.append(outcome)
+                    solutions.append(None)
+                    continue
+                solution, worker_stats = outcome
                 solutions.append(solution)
                 if stats is not None:
                     stats.absorb_worker(worker_stats)
@@ -236,7 +289,9 @@ def sweep(
         raise NoFeasibleSolution(
             f"no feasible point in the {parameter} sweep"
         )
-    return SensitivityResult(parameter=parameter, points=points)
+    return SensitivityResult(
+        parameter=parameter, points=points, failed=tuple(failures)
+    )
 
 
 def capacity_sweep(

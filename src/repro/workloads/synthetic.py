@@ -21,6 +21,7 @@ Spatial locality is modeled as sequential runs of cache lines.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, replace
 from typing import Iterator
 
@@ -98,8 +99,11 @@ def event_stream(
     seed: int = 1234,
 ) -> Iterator[Event]:
     """Yield the workload event stream for one hardware thread."""
-    rng = np.random.default_rng((seed, hash(profile.name) & 0xFFFF,
-                                 thread_id))
+    # crc32, not hash(): str hashes are salted by PYTHONHASHSEED, which
+    # would make "fully seeded" runs differ across sessions and -- under
+    # a spawn start method -- between parent and worker processes.
+    rng = np.random.default_rng((seed, zlib.crc32(profile.name.encode())
+                                 & 0xFFFF, thread_id))
     hot_lines = max(1, profile.hot_bytes // LINE_BYTES)
     warm_lines = max(1, profile.warm_bytes // LINE_BYTES)
     cold_lines = max(1, profile.cold_bytes // LINE_BYTES)

@@ -230,3 +230,77 @@ class TestObservabilityFlags:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "zero target" in err
+
+
+class TestResilienceFlags:
+    def test_sweep_command(self, capsys):
+        rc = main([
+            "sweep", "--capacity", "256K", "--parameter", "capacity_bytes",
+            "--values", "128K,256K",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out
+        assert "access=" in out
+
+    def test_sweep_rejects_bad_parameter(self, capsys):
+        rc = main([
+            "sweep", "--capacity", "256K", "--parameter", "colour",
+            "--values", "1,2",
+        ])
+        assert rc == 2
+        assert "cannot sweep" in capsys.readouterr().err
+
+    def test_study_command(self, capsys):
+        rc = main([
+            "study", "--apps", "ua.C", "--configs", "nol3,sram",
+            "--instructions", "4000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nol3" in out and "sram" in out
+        assert "execution reduction" in out
+
+    def test_study_rejects_unknown_app(self, capsys):
+        rc = main(["study", "--apps", "nope", "--instructions", "1000"])
+        assert rc == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_resume_flag_writes_and_restores_journal(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "sweep.journal"
+        argv = [
+            "sweep", "--capacity", "256K", "--parameter", "capacity_bytes",
+            "--values", "128K,256K", "--resume", str(journal),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        from repro.core.resilience import Journal
+
+        assert len(Journal(journal)) == 2
+
+        # Second run restores both points: same output, no growth.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert len(Journal(journal)) == 2
+
+    def test_on_error_skip_reports_failures(self, capsys):
+        # An impossible per-task timeout is the simplest way to make
+        # every parallel task fail from the CLI (two cells, so the map
+        # actually goes parallel -- in-process tasks can't be preempted).
+        rc = main([
+            "study", "--apps", "ua.C", "--configs", "nol3,sram",
+            "--instructions", "2000", "--jobs", "2",
+            "--on-error", "skip", "--task-timeout", "0.001",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "task(s) failed" in err
+
+    def test_bad_on_error_value_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "cache", "--capacity", "256K", "--on-error", "explode",
+            ])

@@ -160,6 +160,35 @@ def test_tracing_is_invisible_at_any_job_count(jobs):
     assert_metrics_identical(plain, traced)
 
 
+def test_faulted_retry_optimize_is_bit_identical():
+    """Fault tolerance's determinism contract: a sweep whose workers
+    crash mid-run under ``on_error="retry"`` -- one chunk raising, one
+    chunk hard-killing its worker process -- completes with
+    field-for-field identical metrics to the unfaulted serial run.  A
+    retried chunk rebuilds the same designs from the same candidates,
+    and the merge is still candidate-ordered."""
+    from repro.core.resilience import FaultPlan, FaultSpec, ResiliencePolicy
+
+    spec, target = sram_spec(), OptimizationTarget()
+    tech = technology(32.0)
+    serial = optimize(tech, spec, target)
+    plan = FaultPlan((
+        FaultSpec("optimizer.chunk", 0, "raise", trips=1),
+        FaultSpec("optimizer.chunk", 2, "kill", trips=1),
+    ))
+    stats = SweepStats()
+    policy = ResiliencePolicy(
+        on_error="retry", max_retries=2, backoff_s=0.01, fault_plan=plan
+    )
+    faulted = optimize(
+        tech, spec, target, jobs=2, stats=stats, resilience=policy
+    )
+    assert_metrics_identical(serial, faulted)
+    assert stats.retries >= 1  # the raise fault cost one retry
+    assert stats.pool_rebuilds >= 1  # the kill fault broke a pool
+    assert stats.tasks_failed == 0  # every chunk eventually completed
+
+
 def test_every_sink_together_is_invisible(tmp_path):
     """obs + stats + solve cache + workers all at once, still golden."""
     spec, target = sram_spec(), OptimizationTarget()

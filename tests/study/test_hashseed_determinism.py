@@ -1,0 +1,64 @@
+"""Cross-interpreter determinism: simulation ignores PYTHONHASHSEED.
+
+Python salts ``hash(str)`` per interpreter, so anything seeded through a
+string hash silently differs between sessions -- and, under a spawn
+start method, between a parent and its workers.  The workload
+generators key their RNG streams by ``zlib.crc32(name)`` instead; these
+tests run the same simulation in subprocesses under different hash
+seeds and require bit-identical SimStats.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_SCRIPT = """
+import dataclasses, json
+from repro.study.runner import run_one
+from repro.workloads.npb import BY_NAME
+
+profile = BY_NAME["ua.C"].with_instructions(3000)
+result = run_one(profile, "sram", source="paper", scale=64, seed=7)
+print(json.dumps(dataclasses.asdict(result.stats), sort_keys=True))
+"""
+
+
+def _run_under_hashseed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.fspath(_SRC)
+    env["PYTHONHASHSEED"] = seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_simstats_identical_across_hash_seeds():
+    first = _run_under_hashseed("0")
+    second = _run_under_hashseed("1")
+    third = _run_under_hashseed("4242")
+    assert first == second == third
+
+
+def test_event_stream_seeding_uses_no_string_hash():
+    # Direct check on the generator: the first events of a stream are a
+    # pure function of (profile, thread, seed) in this interpreter --
+    # and the subprocess test above pins that across interpreters.
+    from itertools import islice
+
+    from repro.workloads.npb import BY_NAME
+    from repro.workloads.synthetic import event_stream
+
+    profile = BY_NAME["ft.B"].scaled(64)
+    a = list(islice(event_stream(profile, 0, 16, seed=3), 50))
+    b = list(islice(event_stream(profile, 0, 16, seed=3), 50))
+    assert a == b

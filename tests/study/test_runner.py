@@ -1,11 +1,23 @@
 """Integration tests for the LLC study runner (reduced-size runs)."""
 
+import dataclasses
+
 import pytest
 
+from repro.core.resilience import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    Journal,
+    ResiliencePolicy,
+    TaskFailure,
+)
 from repro.study.runner import run_one, run_study
 from repro.workloads.npb import CG_C, FT_B, UA_C
 
 INSTR = 30_000  # small but long enough to warm the scaled caches
+
+FAST_INSTR = 4_000  # enough for the fault-tolerance plumbing tests
 
 
 @pytest.fixture(scope="module")
@@ -94,3 +106,94 @@ class TestRunStudy:
             instructions_per_thread=INSTR,
         )
         assert abs(1 - result.normalized_cycles("ua.C", "cm_dram_c")) < 0.35
+
+
+class TestStudyResilience:
+    def test_duplicate_profile_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate profile"):
+            run_study(
+                profiles=(UA_C, UA_C),
+                configs=("nol3",),
+                instructions_per_thread=FAST_INSTR,
+            )
+
+    def test_duplicate_config_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate config"):
+            run_study(
+                profiles=(UA_C,),
+                configs=("nol3", "sram", "nol3"),
+                instructions_per_thread=FAST_INSTR,
+            )
+
+    def test_skip_mode_yields_partial_matrix(self):
+        # Cell 1 (ua.C x sram) fails terminally; the rest of the matrix
+        # completes and the failure is recorded, not raised.
+        policy = ResiliencePolicy(
+            on_error="skip",
+            fault_plan=FaultPlan(
+                (FaultSpec("study.cell", 1, "raise", trips=99),)
+            ),
+        )
+        result = run_study(
+            profiles=(UA_C,),
+            configs=("nol3", "sram", "cm_dram_c"),
+            instructions_per_thread=FAST_INSTR,
+            resilience=policy,
+        )
+        assert set(result.results) == {
+            ("ua.C", "nol3"), ("ua.C", "cm_dram_c")
+        }
+        assert len(result.failed) == 1
+        assert isinstance(result.failed[0], TaskFailure)
+        assert result.failed[0].stage == "study.cell"
+
+    def test_interrupted_study_resumes_unfinished_cells(self, tmp_path):
+        path = tmp_path / "study.journal"
+        kwargs = dict(
+            profiles=(UA_C,),
+            configs=("nol3", "sram"),
+            instructions_per_thread=FAST_INSTR,
+        )
+
+        # The fault interrupts the matrix after cell 0 completes.
+        interrupted = ResiliencePolicy(
+            journal=Journal(path),
+            fault_plan=FaultPlan(
+                (FaultSpec("study.cell", 1, "raise", trips=99),)
+            ),
+        )
+        with pytest.raises(FaultInjected):
+            run_study(resilience=interrupted, **kwargs)
+        interrupted.journal.close()
+        assert len(Journal(path)) == 1
+
+        # The resumed run keeps the same fault plan on cell 1's *first*
+        # attempt slot: if cell 0 were re-executed... it isn't -- only
+        # the unfinished cell runs, with a plan that no longer trips it.
+        resumed = ResiliencePolicy(journal=Journal(path))
+        result = run_study(resilience=resumed, **kwargs)
+        resumed.journal.close()
+        assert len(Journal(path)) == 2
+        assert set(result.results) == {("ua.C", "nol3"), ("ua.C", "sram")}
+        assert result.failed == ()
+
+        # Resumed results are bit-identical to an unjournaled run.
+        plain = run_study(**kwargs)
+        for cell, run in plain.results.items():
+            restored = result.results[cell]
+            assert dataclasses.asdict(restored.stats) == dataclasses.asdict(
+                run.stats
+            )
+
+        # A fully journaled matrix restores without executing any cell:
+        # a fault on every index proves nothing runs.
+        restored_only = ResiliencePolicy(
+            journal=Journal(path),
+            fault_plan=FaultPlan(tuple(
+                FaultSpec("study.cell", i, "raise", trips=99)
+                for i in range(2)
+            )),
+        )
+        again = run_study(resilience=restored_only, **kwargs)
+        restored_only.journal.close()
+        assert set(again.results) == set(result.results)

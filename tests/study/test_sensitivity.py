@@ -72,3 +72,69 @@ class TestNodeScaling:
         # Retention and storage cap are node-invariant; refresh power
         # tracks page energy, which moves far less than quadratically.
         assert abs(e) < 3.0
+
+
+class TestSweepResilience:
+    def test_skip_mode_records_failed_points(self):
+        from repro.core.resilience import (
+            FaultPlan,
+            FaultSpec,
+            ResiliencePolicy,
+            TaskFailure,
+        )
+
+        # Point 1 fails terminally under skip: it lands as an
+        # infeasible-looking None with a TaskFailure record, and the
+        # other points still solve.
+        policy = ResiliencePolicy(
+            on_error="skip",
+            fault_plan=FaultPlan(
+                (FaultSpec("sweep.point", 1, "raise", trips=99),)
+            ),
+        )
+        result = sweep(
+            BASE,
+            "capacity_bytes",
+            [128 << 10, 256 << 10, 512 << 10],
+            resilience=policy,
+        )
+        assert result.points[0].solution is not None
+        assert result.points[1].solution is None
+        assert result.points[2].solution is not None
+        assert len(result.failed) == 1
+        assert isinstance(result.failed[0], TaskFailure)
+        assert result.failed[0].stage == "sweep.point"
+
+    def test_resumed_sweep_matches_plain_sweep(self, tmp_path):
+        import dataclasses
+
+        from repro.core.resilience import (
+            FaultInjected,
+            FaultPlan,
+            FaultSpec,
+            Journal,
+            ResiliencePolicy,
+        )
+
+        values = [128 << 10, 256 << 10]
+        path = tmp_path / "sweep.journal"
+        interrupted = ResiliencePolicy(
+            journal=Journal(path),
+            fault_plan=FaultPlan(
+                (FaultSpec("sweep.point", 1, "raise", trips=99),)
+            ),
+        )
+        with pytest.raises(FaultInjected):
+            sweep(BASE, "capacity_bytes", values, resilience=interrupted)
+        interrupted.journal.close()
+        assert len(Journal(path)) == 1
+
+        resumed = ResiliencePolicy(journal=Journal(path))
+        result = sweep(BASE, "capacity_bytes", values, resilience=resumed)
+        resumed.journal.close()
+        assert len(Journal(path)) == 2
+
+        plain = sweep(BASE, "capacity_bytes", values)
+        for restored, direct in zip(result.points, plain.points):
+            assert dataclasses.asdict(restored.solution) == \
+                dataclasses.asdict(direct.solution)

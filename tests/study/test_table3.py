@@ -104,3 +104,70 @@ class TestEnergyModels:
         m = build_energy_model("nol3").memory
         assert m.e_activate > 0 and m.e_read > 0
         assert m.num_chips == 16
+
+
+class TestTable3Resume:
+    """Row-level checkpointing in solve_table3 (stubbed row builders --
+    the live solves are exercised elsewhere; this tests the journal)."""
+
+    @pytest.fixture
+    def stubbed_builders(self, monkeypatch):
+        import repro.study.table3 as table3
+
+        calls = []
+
+        def fake_row(name):
+            calls.append(name)
+            return paper_table3()[name if name != "main_chip" else "main"]
+
+        monkeypatch.setattr(
+            table3, "solve_l1", lambda **k: fake_row("L1")
+        )
+        monkeypatch.setattr(
+            table3, "solve_l2", lambda **k: fake_row("L2")
+        )
+        monkeypatch.setattr(
+            table3, "solve_l3", lambda name, **k: fake_row(name)
+        )
+        monkeypatch.setattr(
+            table3, "main_memory_row", lambda **k: fake_row("main")
+        )
+        return calls
+
+    def test_interrupted_table_resumes_at_unfinished_row(
+        self, stubbed_builders, tmp_path
+    ):
+        from repro.core.resilience import (
+            FaultInjected,
+            FaultPlan,
+            FaultSpec,
+            Journal,
+            ResiliencePolicy,
+        )
+        from repro.study.table3 import solve_table3
+
+        path = tmp_path / "table3.journal"
+        interrupted = ResiliencePolicy(
+            journal=Journal(path),
+            fault_plan=FaultPlan(
+                (FaultSpec("table3.row", 3, "raise", trips=99),)
+            ),
+        )
+        with pytest.raises(FaultInjected):
+            solve_table3(resilience=interrupted)
+        interrupted.journal.close()
+        assert stubbed_builders == ["L1", "L2", "sram"]
+        assert len(Journal(path)) == 3
+
+        stubbed_builders.clear()
+        resumed = ResiliencePolicy(journal=Journal(path))
+        rows = solve_table3(resilience=resumed)
+        resumed.journal.close()
+        # Only the five unfinished rows were built; the first three
+        # restored from the journal.
+        assert stubbed_builders == [
+            "lp_dram_ed", "lp_dram_c", "cm_dram_ed", "cm_dram_c", "main"
+        ]
+        assert set(rows) == set(paper_table3())
+        assert rows["sram"] == paper_table3()["sram"]
+        assert len(Journal(path)) == 8
