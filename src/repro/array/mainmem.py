@@ -42,7 +42,12 @@ DEFAULT_STANDBY_FLOOR = 45e-3
 
 @dataclass(frozen=True)
 class MainMemorySpec:
-    """A commodity main-memory DRAM chip, datasheet-style."""
+    """A commodity main-memory DRAM chip, datasheet-style.
+
+    ``cell_tech`` defaults to the commodity DRAM process; any registered
+    page-mode technology is accepted.  The periphery defaults to the
+    technology's registered ``default_periphery`` trait.
+    """
 
     capacity_bits: int
     nbanks: int = 8
@@ -54,8 +59,11 @@ class MainMemorySpec:
     command_overhead: float = DEFAULT_COMMAND_OVERHEAD
     io_energy_per_bit: float | None = None  #: default: C_io * Vdd_cell^2
     standby_floor: float = DEFAULT_STANDBY_FLOOR
+    cell_tech: CellTech = CellTech.COMM_DRAM
+    periph_device_type: str | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "cell_tech", CellTech(self.cell_tech))
         if self.burst_length > self.prefetch:
             # One column command can only burst out what was prefetched.
             raise ValueError(
@@ -75,13 +83,17 @@ class MainMemorySpec:
 
     def array_spec(self) -> ArraySpec:
         """The low-level array specification this chip maps to."""
+        periph = (
+            self.periph_device_type
+            or self.cell_tech.traits.default_periphery
+        )
         return ArraySpec(
             capacity_bits=self.capacity_bits,
             output_bits=self.column_bits,
             assoc=1,
             nbanks=self.nbanks,
-            cell_tech=CellTech.COMM_DRAM,
-            periph_device_type="lstp",
+            cell_tech=self.cell_tech,
+            periph_device_type=periph,
             page_bits=self.page_bits,
         )
 

@@ -7,8 +7,9 @@ CACTI:
 * ``ndwl`` -- wordline divisions (subarray columns across the bank),
 * ``ndbl`` -- bitline divisions (subarray rows down the bank),
 * ``nspd`` -- sets mapped onto one wordline (relative row widening),
-* ``ndcm`` -- column-mux degree before the sense amps (SRAM only; DRAM
-  senses every bitline -- that *is* the page),
+* ``ndcm`` -- column-mux degree before the sense amps (only where the
+  cell traits allow it; charge-share DRAM senses every bitline -- that
+  *is* the page),
 * ``ndsam`` -- output mux degree after the sense amps.
 
 From one tuple the module derives subarray geometry, how many subarrays
@@ -54,9 +55,11 @@ _COLMUX_FO4 = 3.0
 MIN_ROWS, MAX_ROWS = 8, 16384
 MIN_COLS, MAX_COLS = 16, 65536
 
-#: DRAM bitlines are limited to 512 cells: beyond that, charge-share
-#: signal margins against noise, offset, and cell-capacitance variation
-#: make sensing unreliable, which is why commodity parts stop there.
+#: The DRAM technologies declare ``max_bitline_cells = 512`` in their
+#: traits: beyond that, charge-share signal margins against noise,
+#: offset, and cell-capacitance variation make sensing unreliable, which
+#: is why commodity parts stop there.  Kept as a named constant for
+#: reference and tests; the model reads the trait.
 MAX_DRAM_ROWS = 512
 
 
@@ -117,6 +120,9 @@ class ArraySpec:
     max_repeater_delay_penalty: float = 0.0
 
     def __post_init__(self) -> None:
+        # Accept a registry name for cell_tech; unknown names raise a
+        # ValueError listing the registered technologies.
+        object.__setattr__(self, "cell_tech", CellTech(self.cell_tech))
         if self.capacity_bits % (self.nbanks * self.output_bits * self.assoc):
             raise InfeasibleOrganization(
                 "capacity must divide evenly into banks x sets x output bits"
@@ -185,18 +191,18 @@ def derive_geometry(spec: ArraySpec, org: OrgParams) -> OrgGeometry:
     """Derive the subarray geometry of ``(spec, org)`` from arithmetic alone.
 
     Performs every structural feasibility check that does not require a
-    technology object -- integral rows/cols, row/col ranges, the DRAM
-    bitline sensing limit, mux divisibility, active-subarray and
+    technology object -- integral rows/cols, row/col ranges, the cell
+    traits' bitline sensing limit, mux divisibility, active-subarray and
     way-select counts, and page-size matching -- and raises
     :class:`InfeasibleOrganization` on the first violation.  This is the
     optimizer's cheap pre-filter: the vast majority of candidate tuples
     are rejected here without building any circuit objects.
     """
-    is_dram = spec.cell_tech.is_dram
-    if is_dram and org.ndcm != 1:
+    traits = spec.cell_tech.traits
+    if org.ndcm != 1 and not traits.column_mux_allowed:
         raise InfeasibleOrganization(
-            "DRAM senses every bitline; column muxing before the sense "
-            "amps (ndcm > 1) is not possible"
+            f"{spec.cell_tech} senses every bitline; column muxing before "
+            "the sense amps (ndcm > 1) is not possible"
         )
     rows_f = spec.sets_per_bank / (org.ndbl * org.nspd)
     cols_f = spec.output_bits * spec.assoc * org.nspd / org.ndwl
@@ -207,10 +213,11 @@ def derive_geometry(spec: ArraySpec, org: OrgParams) -> OrgGeometry:
     rows, cols = int(rows_f), int(cols_f)
     if not MIN_ROWS <= rows <= MAX_ROWS:
         raise InfeasibleOrganization(f"rows {rows} out of range")
-    if is_dram and rows > MAX_DRAM_ROWS:
+    max_cells = traits.max_bitline_cells
+    if max_cells is not None and rows > max_cells:
         raise InfeasibleOrganization(
-            f"{rows} cells per DRAM bitline exceeds the "
-            f"{MAX_DRAM_ROWS}-cell sensing limit"
+            f"{rows} cells per bitline exceeds {spec.cell_tech}'s "
+            f"{max_cells}-cell sensing limit"
         )
     if not MIN_COLS <= cols <= MAX_COLS:
         raise InfeasibleOrganization(f"cols {cols} out of range")
@@ -235,12 +242,17 @@ def derive_geometry(spec: ArraySpec, org: OrgParams) -> OrgGeometry:
             "mux degree cannot select one way out of the set"
         )
 
-    sensed_per_sub = cols if is_dram else cols // org.ndcm
+    # Where column muxing is disallowed ndcm is already forced to 1, so
+    # every bitline is sensed either way.
+    sensed_per_sub = cols // org.ndcm
     sensed_bits = nact * sensed_per_sub
 
     if spec.page_bits is not None:
-        if not is_dram:
-            raise InfeasibleOrganization("page size applies to DRAM only")
+        if not traits.supports_page_mode:
+            raise InfeasibleOrganization(
+                f"page size applies to page-mode technologies only, "
+                f"not {spec.cell_tech}"
+            )
         if sensed_bits != spec.page_bits:
             raise InfeasibleOrganization(
                 f"activation senses {sensed_bits} bits, page is "
@@ -359,7 +371,7 @@ class _Builder:
         self.cache = cache
         self.periph = tech.device(spec.periph_device_type)
         self.cell = tech.cell(spec.cell_tech, spec.periph_device_type)
-        self.is_dram = self.cell.is_dram
+        self.traits = spec.cell_tech.traits
         if geometry is None:
             geometry = derive_geometry(spec, org)
         self.rows = geometry.rows
@@ -378,7 +390,7 @@ class _Builder:
                 rows=self.rows,
                 cols=self.cols,
             )
-        self.subarray.check_dram_feasible()
+        self.subarray.check_sense_feasible()
 
         self.num_mats = mats_in_bank(org.ndwl, org.ndbl)
         self.bank_width = org.ndwl * self.subarray.width
@@ -388,12 +400,11 @@ class _Builder:
 
     @cached_property
     def _htree_wire(self):
-        # Commodity DRAM processes have few, slow metal layers (the cost
-        # structure that makes them dense): bank routing runs on the
-        # intermediate plane.  Logic processes route on fast top metal.
-        if self.spec.cell_tech is CellTech.COMM_DRAM:
-            return self.tech.semi_global
-        return self.tech.global_
+        # The bank-routing wire plane is a trait: commodity DRAM
+        # processes have few, slow metal layers (the cost structure that
+        # makes them dense), so bank routing runs on the intermediate
+        # plane; logic processes route on fast top metal.
+        return self.tech.htree_wire(self.spec.cell_tech)
 
     def _design_htree(self, num_wires: int) -> HTree:
         build = lambda: design_htree(  # noqa: E731
@@ -477,8 +488,9 @@ class _Builder:
             + sub.e_write_bitlines(spec.output_bits)
         )
         # Precharge dissipates roughly the sense-restore charge again for
-        # DRAM (half-VDD equalize); SRAM precharge restores the small swing.
-        swing_fraction = 0.5 if self.is_dram else 0.1
+        # half-VDD-equalized technologies; otherwise it restores only the
+        # small read swing.  The fraction is a trait.
+        swing_fraction = self.traits.precharge_swing_fraction
         e_precharge = (
             self.sensed_bits
             * sub.bitline_capacitance
@@ -509,7 +521,7 @@ class _Builder:
 
         # --- refresh ------------------------------------------------------
         p_refresh = 0.0
-        if self.is_dram:
+        if self.traits.needs_refresh:
             assert self.cell.retention_time is not None
             refresh_ops_per_bank = self.rows * org.ndbl * org.ndwl / self.nact
             e_refresh_op = (e_activate + e_precharge)
@@ -571,13 +583,13 @@ def _org_grid(
     widening (nspd) and output muxing than caches, because a whole page
     is sensed but only a few dozen bits leave the chip per column access.
     """
-    is_dram = spec.cell_tech.is_dram
+    traits = spec.cell_tech.traits
     if nspd_values is None:
         nspd_values = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
         if spec.page_bits is not None:
             # Row widening must reach page/output (a whole page on one
             # subarray row) and beyond: large chips also need wide rows
-            # just to keep bitlines under the DRAM sensing limit.
+            # just to keep bitlines under the bitline sensing limit.
             widening = max(2, spec.page_bits // spec.output_bits) * 16
             nspd_values += tuple(
                 float(2**k) for k in range(4, widening.bit_length())
@@ -586,7 +598,7 @@ def _org_grid(
         max_mux = 64
         if spec.page_bits is not None:
             max_mux = max(64, spec.page_bits // spec.output_bits * 2)
-    ndcms = (1,) if is_dram else _powers_up_to(max_mux)
+    ndcms = _powers_up_to(max_mux) if traits.column_mux_allowed else (1,)
     return (
         _powers_up_to(max_ndwl),
         _powers_up_to(max_ndbl),
@@ -659,7 +671,9 @@ def enumerate_feasible_orgs(
     ndwls, ndbls, nspds, ndcms, ndsams = _org_grid(
         spec, max_ndwl, max_ndbl, nspd_values, max_mux
     )
-    is_dram = spec.cell_tech.is_dram
+    traits = spec.cell_tech.traits
+    max_cells = traits.max_bitline_cells
+    paged = traits.supports_page_mode
     sets_per_bank = spec.sets_per_bank
     row_bits = spec.output_bits * spec.assoc
     for ndwl in ndwls:
@@ -672,7 +686,7 @@ def enumerate_feasible_orgs(
                 rows, cols = int(rows_f), int(cols_f)
                 if not MIN_ROWS <= rows <= MAX_ROWS:
                     continue
-                if is_dram and rows > MAX_DRAM_ROWS:
+                if max_cells is not None and rows > max_cells:
                     continue
                 if not MIN_COLS <= cols <= MAX_COLS:
                     continue
@@ -689,10 +703,10 @@ def enumerate_feasible_orgs(
                             continue
                         if spec.assoc > 1 and mux < spec.assoc:
                             continue
-                        sensed_per_sub = cols if is_dram else cols // ndcm
+                        sensed_per_sub = cols // ndcm
                         sensed_bits = nact * sensed_per_sub
                         if spec.page_bits is not None and (
-                            not is_dram or sensed_bits != spec.page_bits
+                            not paged or sensed_bits != spec.page_bits
                         ):
                             continue
                         yield (
@@ -737,7 +751,7 @@ def prefilter_grid(
         )
     axes = _org_grid(spec, max_ndwl, max_ndbl, nspd_values, max_mux)
     ndwls, ndbls, nspds, ndcms, ndsams = axes
-    is_dram = spec.cell_tech.is_dram
+    traits = spec.cell_tech.traits
     # C-order ravel of an 'ij' meshgrid iterates the last axis fastest,
     # matching the nested loop order of enumerate_feasible_orgs.
     w, b, s, c, m = (
@@ -759,8 +773,8 @@ def prefilter_grid(
     rows = _np.where(ok, rows_f, MIN_ROWS).astype(_np.int64)
     cols = _np.where(ok, cols_f, MIN_COLS).astype(_np.int64)
     ok &= (rows >= MIN_ROWS) & (rows <= MAX_ROWS)
-    if is_dram:
-        ok &= rows <= MAX_DRAM_ROWS
+    if traits.max_bitline_cells is not None:
+        ok &= rows <= traits.max_bitline_cells
     ok &= (cols >= MIN_COLS) & (cols <= MAX_COLS)
     mux = c * m
     ok &= cols % mux == 0
@@ -770,10 +784,10 @@ def prefilter_grid(
     ok &= nact <= w
     if spec.assoc > 1:
         ok &= mux >= spec.assoc
-    sensed_per_sub = cols if is_dram else cols // c
+    sensed_per_sub = cols // c
     sensed_bits = nact * sensed_per_sub
     if spec.page_bits is not None:
-        if not is_dram:
+        if not traits.supports_page_mode:
             ok &= False
         else:
             ok &= sensed_bits == spec.page_bits

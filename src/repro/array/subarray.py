@@ -2,15 +2,21 @@
 
 A subarray is a contiguous grid of memory cells with its own wordline
 drivers (one edge), sense amplifiers (another edge), and a share of the row
-decoder.  CACTI-D models SRAM and DRAM subarrays in one framework --
-identical peripheral methodology, a folded array organization for DRAM --
-and differs only where the technologies genuinely differ:
+decoder.  CACTI-D models every cell technology in one framework --
+identical peripheral methodology -- and differs only where the declared
+:class:`~repro.tech.registry.CellTraits` genuinely differ:
 
-* SRAM reads actively discharge one bitline of a precharged pair until the
-  required sense differential develops; the cell is undisturbed.
-* DRAM reads are destructive charge sharing; the sense amplifier must
-  regenerate the full bitline swing, which also writes the data back into
-  the cell; afterwards the bitlines must be restored to VDD/2 (precharge).
+* Current-latch technologies (SRAM, STT-RAM) actively drive one bitline of
+  a precharged pair until the required sense differential develops; the
+  cell is undisturbed.
+* Charge-share technologies (the DRAMs) read by destructive charge
+  redistribution; the sense amplifier must regenerate the full bitline
+  swing, which also writes the data back into the cell; afterwards the
+  bitlines must be restored to VDD/2 (precharge).
+
+This module never names a technology: all dispatch is on trait values,
+so a technology registered with :mod:`repro.tech.registry` works here
+without modification.
 """
 
 from __future__ import annotations
@@ -24,11 +30,13 @@ from repro.circuits.senseamp import SenseAmp, charge_share_signal
 from repro.tech.cells import CellParams
 from repro.tech.devices import TEMPERATURE_LEAKAGE_FACTOR, DeviceParams
 from repro.tech.nodes import Technology
+from repro.tech.registry import CellTraits, SensingScheme
 
 #: RC settling multiplier for full-swing charging (to ~90 %).
 _T_SETTLE = 2.3
 
-#: RC settling multiplier to ~1 % precision, for DRAM bitline equalization.
+#: RC settling multiplier to ~1 % precision, for bitline equalization of
+#: technologies whose precharge level is the sensing reference.
 _T_SETTLE_PRECISE = 4.6
 
 #: Cell-restore slowdown: as the storage node approaches full level the
@@ -40,12 +48,10 @@ _RESTORE_SLOWDOWN = 3.0
 #: Width of a bitline precharge/equalize device, in feature sizes.
 _PRECHARGE_WIDTH_F = 8.0
 
-#: Edge overhead of a subarray: wordline-driver strip width and sense-amp
-#: strip height, in feature sizes.  DRAM sense strips are taller (the amps
-#: are bigger relative to the tiny cell pitch).
+#: Edge overhead of a subarray: wordline-driver strip width, in feature
+#: sizes.  The sense-amp strip height comes from the cell traits (DRAM
+#: strips are taller -- the amps are big relative to the tiny cell pitch).
 _DRIVER_STRIP_F = 20.0
-_SENSE_STRIP_SRAM_F = 20.0
-_SENSE_STRIP_DRAM_F = 40.0
 
 
 class InfeasibleSubarray(ValueError):
@@ -66,6 +72,11 @@ class Subarray:
         if self.rows < 1 or self.cols < 1:
             raise InfeasibleSubarray("subarray must have >= 1 row and column")
 
+    @property
+    def traits(self) -> CellTraits:
+        """Declared behavior of this subarray's cell technology."""
+        return self.cell.tech.traits
+
     # ------------------------------------------------------------------ #
     # Geometry
 
@@ -85,9 +96,7 @@ class Subarray:
     @cached_property
     def height(self) -> float:
         """Subarray height including the sense-amp strip (m)."""
-        strip = (
-            _SENSE_STRIP_DRAM_F if self.cell.is_dram else _SENSE_STRIP_SRAM_F
-        )
+        strip = self.traits.sense_strip_height_f
         return self.cell_array_height + strip * self.tech.feature_size
 
     @cached_property
@@ -105,9 +114,9 @@ class Subarray:
     @cached_property
     def wordline_load(self) -> WordlineLoad:
         wire = self.tech.local
-        # SRAM wordlines drive two access gates per cell (the 6T pair);
-        # DRAM drives one.
-        gates_per_cell = 2.0 if not self.cell.is_dram else 1.0
+        # How many access gates one wordline drives per cell is a trait:
+        # two for a 6T pair, one for 1T1C or 1T1MTJ cells.
+        gates_per_cell = self.traits.wordline_gates_per_cell
         c_gate = (
             gates_per_cell * self.cell.access_width * self.periph.c_gate
         )
@@ -124,23 +133,16 @@ class Subarray:
     def bitline_capacitance(self) -> float:
         """Total capacitance of one bitline (F)."""
         wire = self.tech.bitline_wire(self.cell.tech)
-        per_cell = (
+        junction = (
             self.cell.access_c_drain * self.cell.access_width
             + self.cell.access_c_junction
-            + wire.c_per_m * self.cell.height
         )
-        # In a folded DRAM array only every other cell contacts a given
+        # In a folded array only every other cell contacts a given
         # bitline, but the twin bitline runs the full height either way;
         # junction loading halves, wire loading does not.
-        if self.cell.is_dram:
-            per_cell = (
-                0.5
-                * (
-                    self.cell.access_c_drain * self.cell.access_width
-                    + self.cell.access_c_junction
-                )
-                + wire.c_per_m * self.cell.height
-            )
+        if self.traits.folded_bitline:
+            junction = 0.5 * junction
+        per_cell = junction + wire.c_per_m * self.cell.height
         return self.rows * per_cell
 
     @cached_property
@@ -175,8 +177,8 @@ class Subarray:
 
     @cached_property
     def sense_signal(self) -> float:
-        """Available DRAM sense signal (V); full rail for SRAM."""
-        if not self.cell.is_dram:
+        """Available sense signal (V); full rail for current-latch cells."""
+        if self.traits.sensing is SensingScheme.CURRENT_LATCH:
             return self.periph.vdd
         assert self.cell.storage_cap is not None
         return charge_share_signal(
@@ -186,7 +188,7 @@ class Subarray:
     @cached_property
     def t_bitline(self) -> float:
         """Bitline signal development time after the wordline rises (s)."""
-        if self.cell.is_dram:
+        if self.traits.sensing is SensingScheme.CHARGE_SHARE:
             # Charge redistribution through the access device and bitline.
             assert self.cell.storage_cap is not None
             r_access = self.cell.access_r_channel / self.cell.access_width
@@ -198,53 +200,58 @@ class Subarray:
             return _T_SETTLE * (
                 r_access + self.bitline_resistance / 2.0
             ) * c_share
-        # SRAM: constant-current discharge to the sense swing plus the
-        # distributed bitline RC.
+        # Current-latch: constant-current discharge to the sense swing
+        # plus the distributed bitline RC.
         swing = 0.10 * self.periph.vdd
         discharge = self.bitline_capacitance * swing / self.cell.read_current
         return discharge + 0.38 * self.bitline_resistance * self.bitline_capacitance
 
     @cached_property
     def t_sense(self) -> float:
-        """Sense-amplifier latching (and, for DRAM, restore) time (s)."""
-        if self.cell.is_dram:
+        """Sense-amp latching (and, if restoring, regeneration) time (s)."""
+        if self.traits.sensing is SensingScheme.CHARGE_SHARE:
             try:
-                return self.sense_amp.dram_delay(
+                return self.sense_amp.restore_delay(
                     self.bitline_capacitance,
                     self.sense_signal,
                     self.cell.vdd_cell,
                 )
             except ValueError as exc:
                 raise InfeasibleSubarray(str(exc)) from exc
-        return self.sense_amp.sram_delay()
+        return self.sense_amp.latch_delay()
 
     @cached_property
     def t_writeback(self) -> float:
-        """DRAM cell-restore time after the bitline reaches full rail (s).
+        """Wordline hold time beyond sensing that closes the row (s).
 
-        Zero for SRAM (reads are non-destructive).  The wordline must stay
-        up this long after sensing; it extends the row cycle, not the
-        access time.
+        For destructive-read cells this is the storage-node restore after
+        the bitline reaches full rail.  For non-destructive cells it is
+        the technology's declared write-pulse overhead (the row cycle is
+        sized for the worst-case operation, a write): zero when writes
+        are no slower than reads.  Either way it extends the row cycle,
+        not the access time.
         """
-        if not self.cell.is_dram:
-            return 0.0
-        assert self.cell.storage_cap is not None
-        r_access = self.cell.access_r_channel / self.cell.access_width
-        return _T_SETTLE * _RESTORE_SLOWDOWN * r_access * self.cell.storage_cap
+        if self.traits.destructive_read:
+            assert self.cell.storage_cap is not None
+            r_access = self.cell.access_r_channel / self.cell.access_width
+            return (
+                _T_SETTLE * _RESTORE_SLOWDOWN * r_access * self.cell.storage_cap
+            )
+        return self.traits.write_pulse_time
 
     @cached_property
     def t_precharge(self) -> float:
         """Bitline precharge/equalize time (s).
 
-        DRAM bitlines must settle to well within the sense margin (their
-        level *is* the reference for the next charge share), so they pay a
-        precision settling factor; SRAM precharge only needs to erase the
-        small read swing.
+        Technologies whose precharge level is the sensing reference (the
+        charge-share DRAMs) must settle to well within the sense margin,
+        so they pay a precision settling factor and a half-rail swing;
+        others only erase the small read swing.  Both facts are traits.
         """
         w_pre = _PRECHARGE_WIDTH_F * self.tech.feature_size
         r_pre = self.periph.r_eff / w_pre
-        swing_factor = 0.5 if self.cell.is_dram else 0.10
-        settle = _T_SETTLE_PRECISE if self.cell.is_dram else _T_SETTLE
+        swing_factor = self.traits.precharge_swing_fraction
+        settle = _T_SETTLE_PRECISE if self.traits.precise_precharge else _T_SETTLE
         c = self.bitline_capacitance
         # Equalization shorts the pair, halving the effective excursion.
         return settle * r_pre * c * swing_factor + 0.38 * (
@@ -256,22 +263,29 @@ class Subarray:
 
     def e_read_bitlines(self, num_sensed: int) -> float:
         """Energy of sensing ``num_sensed`` bitline pairs on a read (J)."""
-        if self.cell.is_dram:
-            per = self.sense_amp.dram_energy(
+        if self.traits.sensing is SensingScheme.CHARGE_SHARE:
+            per = self.sense_amp.restore_energy(
                 self.bitline_capacitance, self.cell.vdd_cell
             )
         else:
-            per = self.sense_amp.sram_energy(self.bitline_capacitance)
+            per = self.sense_amp.latch_energy(self.bitline_capacitance)
         return num_sensed * per
 
     def e_write_bitlines(self, num_written: int) -> float:
-        """Energy of driving ``num_written`` bitline pairs on a write (J)."""
+        """Energy of driving ``num_written`` bitline pairs on a write (J).
+
+        The write-swing trait scales the full-rail energy: 1.0 when every
+        written pair swings (SRAM), 0.5 when writes flip already-sensed
+        bitlines to the new data (DRAM restore-then-flip).
+        """
         vdd = self.cell.vdd_cell
-        if self.cell.is_dram:
-            # Writes flip sensed bitlines to the new data: full-swing on
-            # roughly half the written pairs.
-            return num_written * self.bitline_capacitance * vdd * vdd * 0.5
-        return num_written * self.bitline_capacitance * vdd * vdd
+        return (
+            num_written
+            * self.bitline_capacitance
+            * vdd
+            * vdd
+            * self.traits.write_swing_fraction
+        )
 
     @cached_property
     def e_wordline(self) -> float:
@@ -288,13 +302,11 @@ class Subarray:
             * self.cell.access_width
             * self.cell.vdd_cell
         )
-        if not self.cell.is_dram:
-            # 6T cells leak through both inverters; access devices are off.
-            cell_leak *= 2.0
-        else:
-            # DRAM cell leakage drains the storage node, not the supply;
-            # it costs refresh energy (modeled separately), not static power.
-            cell_leak = 0.0
+        # Supply-leakage paths per cell are a trait: 2.0 for a 6T cell
+        # (both inverters leak; access devices are off), 0.0 when cell
+        # leakage drains a storage node instead of the supply -- that
+        # costs refresh energy (modeled separately), not static power.
+        cell_leak *= self.traits.cell_leak_paths
         sa_leak = num_sense_amps * self.sense_amp.leakage()
         return cell_leak + self.decoder.leakage + sa_leak
 
@@ -313,7 +325,15 @@ class Subarray:
         """Full destructive-read row cycle: sense + restore + precharge (s)."""
         return self.t_row_to_sense + self.t_writeback + self.t_precharge
 
-    def check_dram_feasible(self) -> None:
-        """Raise InfeasibleSubarray if the DRAM signal budget is violated."""
-        if self.cell.is_dram:
+    def check_sense_feasible(self) -> None:
+        """Raise InfeasibleSubarray if the sensing signal budget is violated.
+
+        Only charge-share technologies have a signal-margin feasibility
+        limit (too many cells per bitline for the storage capacitor);
+        current-latch sensing always develops full differential.
+        """
+        if self.traits.sensing is SensingScheme.CHARGE_SHARE:
             _ = self.t_sense  # triggers the signal-margin check
+
+    #: Pre-registry name of :meth:`check_sense_feasible`.
+    check_dram_feasible = check_sense_feasible

@@ -1,14 +1,19 @@
-"""Sense amplifiers for SRAM and DRAM bitlines.
+"""Sense amplifiers for the two sensing schemes.
 
-SRAM uses a latch-type amplifier fired once the bitlines have developed a
-required differential; its latching delay is a few gate delays and largely
-independent of the bitline because the bitline is only partially swung.
+Current-latch sensing (SRAM, STT-RAM) uses a latch-type amplifier fired
+once the bitlines have developed a required differential; its latching
+delay is a few gate delays and largely independent of the bitline because
+the bitline is only partially swung.
 
-DRAM sensing is qualitatively different: the charge-shared signal
+Charge-share sensing (DRAM) is qualitatively different: the shared signal
 ``dV = (VDD/2) * Cs / (Cs + Cbl)`` seeds a regenerative latch that must
 restore the *full bitline* (and thereby the cell -- this is the writeback
 of the destructive readout) to full swing, so its time constant is set by
 the bitline capacitance and its latching time by ``ln(VDD / dV)``.
+
+The methods are named for the scheme (``latch_*`` / ``restore_*``); the
+pre-registry technology-named spellings (``sram_*`` / ``dram_*``) remain
+as aliases.
 """
 
 from __future__ import annotations
@@ -26,11 +31,15 @@ _SA_WIDTH_F = 24.0
 #: layout lets one amp occupy several bitline pitches).
 SA_PITCH_MULT = 4.0
 
-#: Required SRAM bitline differential as a fraction of VDD.
+#: Required current-latch bitline differential as a fraction of VDD.
 SRAM_SENSE_SWING = 0.10
 
-#: Minimum usable DRAM sense signal (V): latch offset plus noise margin.
+#: Minimum usable charge-share sense signal (V): latch offset plus noise
+#: margin.
 DRAM_MIN_SENSE_SIGNAL = 0.06
+
+#: Scheme-named alias for :data:`DRAM_MIN_SENSE_SIGNAL`.
+MIN_CHARGE_SHARE_SIGNAL = DRAM_MIN_SENSE_SIGNAL
 
 #: Multiplier on r_eff/width for the latch's regeneration resistance; the
 #: cross-coupled pair is weaker than a full inverter drive.
@@ -62,35 +71,39 @@ class SenseAmp:
         """
         return _LATCH_R_FACTOR * self.device.r_eff / (self.width / 4.0)
 
-    def sram_delay(self) -> float:
+    def latch_delay(self) -> float:
         """Latching delay once the required differential exists (s)."""
         tau = self.r_latch * self.c_internal
         return tau * math.log(1.0 / SRAM_SENSE_SWING)
 
-    def sram_energy(self, c_bitline: float) -> float:
-        """Energy of one SRAM sense: limited bitline swing + latch flip (J)."""
+    def latch_energy(self, c_bitline: float) -> float:
+        """Energy of one current-latch sense: limited bitline swing + latch
+        flip (J)."""
         vdd = self.device.vdd
         bitline = c_bitline * vdd * (SRAM_SENSE_SWING * vdd)
         latch = self.c_internal * vdd * vdd
         return bitline + latch
 
-    def dram_delay(self, c_bitline: float, signal: float, vdd_cell: float) -> float:
+    def restore_delay(
+        self, c_bitline: float, signal: float, vdd_cell: float
+    ) -> float:
         """Regeneration time from ``signal`` to full rail on the bitline (s).
 
         Raises ValueError if the available signal is below the usable
         minimum -- the candidate organization is infeasible (too many cells
         per bitline for the storage capacitor).
         """
-        if signal < DRAM_MIN_SENSE_SIGNAL:
+        if signal < MIN_CHARGE_SHARE_SIGNAL:
             raise ValueError(
-                f"DRAM sense signal {signal * 1e3:.1f} mV below the "
-                f"{DRAM_MIN_SENSE_SIGNAL * 1e3:.0f} mV sensing limit"
+                f"charge-share sense signal {signal * 1e3:.1f} mV below the "
+                f"{MIN_CHARGE_SHARE_SIGNAL * 1e3:.0f} mV sensing limit"
             )
         tau = self.r_latch * (c_bitline + self.c_internal)
         return tau * math.log(vdd_cell / signal)
 
-    def dram_energy(self, c_bitline: float, vdd_cell: float) -> float:
-        """Energy of one DRAM sense+restore: half-swing on both bitlines (J).
+    def restore_energy(self, c_bitline: float, vdd_cell: float) -> float:
+        """Energy of one charge-share sense+restore: half-swing on both
+        bitlines (J).
 
         Bitlines start precharged at VDD/2; sensing drives one rail up and
         one down, so each of the folded pair swings VDD/2.
@@ -98,6 +111,12 @@ class SenseAmp:
         pair = 2.0 * c_bitline * vdd_cell * (vdd_cell / 2.0)
         latch = self.c_internal * vdd_cell * vdd_cell
         return pair + latch
+
+    # Pre-registry technology-named aliases.
+    sram_delay = latch_delay
+    sram_energy = latch_energy
+    dram_delay = restore_delay
+    dram_energy = restore_energy
 
     def area(self) -> float:
         """Layout area of one amp, folded to its share of bitline pitch (m^2)."""

@@ -34,6 +34,7 @@ from repro.core.resilience import ON_ERROR_POLICIES, Journal, ResiliencePolicy
 from repro.core.solvecache import SolveCache
 from repro.obs import Obs
 from repro.tech.cells import CellTech
+from repro.tech.registry import registered_names
 
 _PRESETS = {
     "balanced": OptimizationTarget(),
@@ -89,8 +90,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--banks", type=int, default=1)
     cache.add_argument("--node", type=float, default=32.0,
                        help="feature size in nm (32-90)")
+    # Choices come from the technology registry, so a tech module
+    # registered at import time (e.g. stt-ram) is solvable with no CLI
+    # edits, and an unknown name exits 2 listing the registered ones.
     cache.add_argument("--tech", default="sram",
-                       choices=[t.value for t in CellTech])
+                       choices=sorted(registered_names()))
+    cache.add_argument("--tag-tech", default=None, dest="tag_tech",
+                       choices=sorted(registered_names()),
+                       help="tag-array technology (default: same as "
+                            "--tech)")
     cache.add_argument("--sequential", action="store_true",
                        help="tag-then-data access mode")
     cache.add_argument("--sleep-transistors", action="store_true")
@@ -142,7 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--banks", type=int, default=1)
     sweep.add_argument("--node", type=float, default=32.0)
     sweep.add_argument("--tech", default="sram",
-                       choices=[t.value for t in CellTech])
+                       choices=sorted(registered_names()))
     sweep.add_argument("--parameter", required=True,
                        help="spec field to sweep (e.g. capacity_bytes)")
     sweep.add_argument("--values", required=True, metavar="V1,V2,...",
@@ -260,6 +268,9 @@ def _run_cache(args: argparse.Namespace) -> int:
         access_mode=(AccessMode.SEQUENTIAL if args.sequential
                      else AccessMode.NORMAL),
         sleep_transistors=args.sleep_transistors,
+        tag_cell_tech=(
+            CellTech(args.tag_tech) if args.tag_tech is not None else None
+        ),
     )
     solve_cache, stats, obs, resilience = _solver_knobs(args)
     solution = solve(
@@ -430,6 +441,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         values = [parse_size(v) for v in raw]
     elif args.parameter == "node_nm":
         values = [float(v) for v in raw]
+    elif args.parameter == "cell_tech":
+        # Categorical: values are technology registry names.  CellTech
+        # rejects unknown names here with the registered list, before
+        # any solving starts.
+        values = [CellTech(v).value for v in raw]
     else:
         values = [int(v) for v in raw]
     base = MemorySpec(
@@ -453,12 +469,16 @@ def _run_sweep(args: argparse.Namespace) -> int:
         resilience=resilience,
     )
     for point in result.points:
+        # Numeric sweep values print as numbers; categorical ones
+        # (cell_tech registry names) are already strings.
+        value = (f"{point.value:g}" if isinstance(point.value, float)
+                 else str(point.value))
         if point.solution is None:
-            print(f"{point.value:>14g}  infeasible")
+            print(f"{value:>14}  infeasible")
             continue
         s = point.solution
         print(
-            f"{point.value:>14g}  access={s.access_time * 1e9:.3f} ns  "
+            f"{value:>14}  access={s.access_time * 1e9:.3f} ns  "
             f"E_rd={s.e_read_nj:.3f} nJ  area={s.area_mm2:.2f} mm2  "
             f"eff={s.area_efficiency * 100:.1f}%"
         )

@@ -418,6 +418,8 @@ class MainMemorySolution:
                 "data_pins": self.spec.data_pins,
                 "burst_length": self.spec.burst_length,
                 "page_bits": self.spec.page_bits,
+                "cell_tech": self.spec.cell_tech.value,
+                "cell_traits": self.spec.cell_tech.traits.as_dict(),
             },
             "organization": {
                 "ndwl": self.metrics.org.ndwl,

@@ -11,9 +11,11 @@ constraint).
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.tech import registry as _registry
 from repro.tech.cells import CellTech
 
 
@@ -29,13 +31,30 @@ class AccessMode(Enum):
     SEQUENTIAL = "sequential"
 
 
+class _DefaultPeriphery(Mapping):
+    """Live view of each registered technology's default periphery trait.
+
+    Replaces the former hardcoded triad dict (which raised a bare
+    ``KeyError`` for any technology outside it): lookups now come from
+    the registry, cover every registered technology automatically, and
+    unknown keys raise a ``ValueError`` naming the registered
+    technologies (via ``CellTech``'s name resolution).
+    """
+
+    def __getitem__(self, cell_tech: CellTech) -> str:
+        return CellTech(cell_tech).traits.default_periphery
+
+    def __iter__(self):
+        return iter(CellTech)
+
+    def __len__(self) -> int:
+        return len(_registry.registered_names())
+
+
 #: Default peripheral/global circuitry per cell technology (paper Table 1):
 #: SRAM and LP-DRAM use long-channel ITRS HP devices, COMM-DRAM uses LSTP.
-DEFAULT_PERIPHERY = {
-    CellTech.SRAM: "hp-long-channel",
-    CellTech.LP_DRAM: "hp-long-channel",
-    CellTech.COMM_DRAM: "lstp",
-}
+#: Backed by the technology registry's ``default_periphery`` trait.
+DEFAULT_PERIPHERY = _DefaultPeriphery()
 
 #: Physical address width assumed when sizing tag arrays.
 PHYSICAL_ADDRESS_BITS = 40
@@ -65,6 +84,13 @@ class MemorySpec:
     ecc: bool = False  #: SEC-DED on the data array (8 check bits / 64)
 
     def __post_init__(self) -> None:
+        # Accept registry names for the technologies; unknown names raise
+        # a ValueError listing the registered technologies.
+        object.__setattr__(self, "cell_tech", CellTech(self.cell_tech))
+        if self.tag_cell_tech is not None:
+            object.__setattr__(
+                self, "tag_cell_tech", CellTech(self.tag_cell_tech)
+            )
         if self.capacity_bytes <= 0 or self.block_bytes <= 0:
             raise ValueError("capacity and block size must be positive")
         if self.capacity_bytes % (self.nbanks * self.block_bytes):
@@ -85,9 +111,11 @@ class MemorySpec:
 
     @property
     def periphery(self) -> str:
+        """Peripheral device family: explicit override, else the cell
+        technology's registered ``default_periphery`` trait."""
         if self.periph_device_type is not None:
             return self.periph_device_type
-        return DEFAULT_PERIPHERY[self.cell_tech]
+        return self.cell_tech.traits.default_periphery
 
     @property
     def tag_technology(self) -> CellTech:

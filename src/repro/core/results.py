@@ -184,6 +184,7 @@ class Solution:
                 "nbanks": self.spec.nbanks,
                 "node_nm": self.spec.node_nm,
                 "cell_tech": self.spec.cell_tech.value,
+                "cell_traits": self.spec.cell_tech.traits.as_dict(),
                 "access_mode": self.spec.access_mode.value,
             },
             "organization": {
@@ -212,6 +213,7 @@ class Solution:
                 "access_time_ns": self.tag.t_access * 1e9,
                 "area_mm2": self.tag.area * 1e6,
                 "cell_tech": self.tag.spec.cell_tech.value,
+                "cell_traits": self.tag.spec.cell_tech.traits.as_dict(),
             }
         return report
 

@@ -30,8 +30,13 @@ from repro.core.config import OptimizationTarget
 from repro.tech.cells import CellTech
 
 #: Bump on any model change that alters solved numbers, or any change
-#: to the key scheme (v2: numeric key fields are normalized to float).
-CACHE_VERSION = "repro-solve-cache-v2"
+#: to the key scheme (v2: numeric key fields are normalized to float;
+#: v3: the technology axis is registry-backed -- cell technologies are
+#: identified by registry name in keys and records, and new
+#: technologies such as stt-ram may appear).  Old v2 cache files are
+#: *ignored*, never corrupted: a version mismatch loads as an empty
+#: record set and the next flush rewrites the file at v3.
+CACHE_VERSION = "repro-solve-cache-v3"
 
 #: ArrayMetrics scalar fields (everything except the nested spec/org).
 _METRIC_FIELDS = tuple(

@@ -41,21 +41,37 @@ METRICS: dict[str, Callable[[Solution], float]] = {
     "area_efficiency": lambda s: s.area_efficiency,
 }
 
-#: Spec fields sweepable by name.
+#: Spec fields sweepable by name.  ``cell_tech`` is categorical: values
+#: are technology registry names (any registered technology), points
+#: carry the name as their value, and elasticities skip it.
 SWEEPABLE = (
     "capacity_bytes",
     "block_bytes",
     "associativity",
     "nbanks",
     "node_nm",
+    "cell_tech",
 )
+
+
+def _point_value(value) -> float | str:
+    """Numeric sweep values as floats; categorical ones as strings."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return str(value)
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One solved point of a sweep."""
+    """One solved point of a sweep.
 
-    value: float
+    ``value`` is a float for numeric parameters and a string for
+    categorical ones (e.g. a ``cell_tech`` registry name).
+    """
+
+    value: float | str
     solution: Solution | None  #: None if infeasible at this value
 
     def metric(self, name: str) -> float | None:
@@ -91,10 +107,14 @@ class SensitivityResult:
 
         An elasticity of 1.0 means the metric scales proportionally with
         the input; 0.5 like its square root; 0 means insensitive.
-        Returns None with fewer than two feasible points.
+        Returns None with fewer than two feasible points, and for
+        categorical sweeps (e.g. ``cell_tech``), whose string-valued
+        points have no log-log slope.
         """
         pairs = [
-            (v, m) for v, m in self.series(metric) if v > 0 and m > 0
+            (v, m)
+            for v, m in self.series(metric)
+            if isinstance(v, float) and v > 0 and m > 0
         ]
         if len(pairs) < 2:
             return None
@@ -210,7 +230,9 @@ def sweep(
                 for value, spec in zip(values, specs):
                     solution = None
                     if spec is not None:
-                        with maybe_span(obs, "sweep.point", value=value):
+                        with maybe_span(
+                            obs, "sweep.point", value=_point_value(value)
+                        ):
                             try:
                                 solution = solve(
                                     spec,
@@ -282,7 +304,7 @@ def sweep(
             sum(s is not None for s in solutions),
         )
     points = tuple(
-        SweepPoint(value=float(value), solution=solution)
+        SweepPoint(value=_point_value(value), solution=solution)
         for value, solution in zip(values, solutions)
     )
     if not any(p.solution is not None for p in points):

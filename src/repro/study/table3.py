@@ -188,7 +188,7 @@ def _l3_row(name: str, **knobs) -> Table3Row:
             nbanks=8,
             node_nm=NODE_NM,
             cell_tech=cell_tech,
-            sleep_transistors=cell_tech is CellTech.SRAM,
+            sleep_transistors=cell_tech.traits.sleep_transistors_effective,
         ),
         target,
         **knobs,

@@ -1,21 +1,41 @@
-"""Technology modeling: ITRS devices, Ho wire projections, memory cells."""
+"""Technology modeling: ITRS devices, Ho wire projections, memory cells.
+
+Importing this package registers the built-in memory technologies: the
+paper's triad (``repro.tech.cells``) and the STT-RAM extensibility proof
+(``repro.tech.stt_ram``).  Registration happens at import time so every
+process -- including optimizer worker processes that unpickle specs --
+resolves the same :class:`CellTech` handles.
+"""
 
 from repro.tech.cells import CellParams, CellTech
 from repro.tech.devices import DEVICE_TYPES, NODES_NM, DeviceParams, device
 from repro.tech.nodes import Technology, technology
+from repro.tech.registry import (
+    CellTraits,
+    MemoryTechnology,
+    SensingScheme,
+    register,
+    registered_names,
+)
 from repro.tech.wires import WireParams, global_wire, local_wire, semi_global_wire
+from repro.tech import stt_ram as _stt_ram  # noqa: F401  (registers stt-ram)
 
 __all__ = [
     "CellParams",
     "CellTech",
+    "CellTraits",
     "DEVICE_TYPES",
     "DeviceParams",
+    "MemoryTechnology",
     "NODES_NM",
+    "SensingScheme",
     "Technology",
     "WireParams",
     "device",
     "global_wire",
     "local_wire",
+    "register",
+    "registered_names",
     "semi_global_wire",
     "technology",
 ]

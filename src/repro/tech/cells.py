@@ -1,9 +1,11 @@
-"""Memory-cell technologies: SRAM, LP-DRAM, and COMM-DRAM.
+"""Built-in memory-cell technologies: SRAM, LP-DRAM, and COMM-DRAM.
 
 Encodes paper Table 1 ("Key characteristics of SRAM, LP-DRAM, and
-COMM-DRAM technologies") plus the cell-level electrical data the array
-models need: cell geometry, access-device drive/leakage, storage
-capacitance, boosted wordline voltage, and retention period.
+COMM-DRAM technologies") twice over: the *behavioral* side as
+:class:`~repro.tech.registry.CellTraits` bundles registered with the
+technology registry, and the *electrical* side as :class:`CellParams`
+builders (cell geometry, access-device drive/leakage, storage
+capacitance, boosted wordline voltage, retention period).
 
 Cell areas follow the paper: ~146 F^2 for the 6T SRAM cell, 30 F^2 for the
 1T1C LP-DRAM cell (within the 19-26 F^2 range of the cited 180-65 nm cells,
@@ -17,20 +19,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from enum import Enum
 from functools import lru_cache
 
+from repro.tech.registry import (
+    CellTech,
+    CellTraits,
+    MemoryTechnology,
+    SensingScheme,
+    register,
+)
+from repro.tech import registry as _registry
 
-class CellTech(Enum):
-    """The three memory-cell technologies CACTI-D supports."""
-
-    SRAM = "sram"
-    LP_DRAM = "lp-dram"
-    COMM_DRAM = "comm-dram"
-
-    @property
-    def is_dram(self) -> bool:
-        return self is not CellTech.SRAM
+__all__ = [
+    "CellParams",
+    "CellTech",
+    "CellTraits",
+    "MemoryTechnology",
+    "SensingScheme",
+    "cell",
+    "comm_dram_cell",
+    "lp_dram_cell",
+    "sram_cell",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +62,10 @@ class CellParams:
     storage_cap: float | None = None  #: DRAM storage capacitance (F)
     vpp: float | None = None  #: boosted wordline voltage (V)
     retention_time: float | None = None  #: refresh period (s)
+
+    @property
+    def traits(self) -> CellTraits:
+        return self.tech.traits
 
     @property
     def is_dram(self) -> bool:
@@ -81,9 +95,10 @@ class CellParams:
     def read_current(self) -> float:
         """Current available to discharge/charge the bitline on a read (A).
 
-        For SRAM this is the series access + driver stack, derated to half
-        the nominal access-device saturation current.  For DRAM reads are
-        passive charge sharing, so this is only used for writeback timing.
+        For actively-driven (current-latch) cells this is the series
+        access + driver stack, derated to half the nominal access-device
+        saturation current.  For charge-share cells reads are passive,
+        so this is only used for writeback timing.
         """
         return 0.5 * self.access_i_on * self.access_width
 
@@ -95,10 +110,11 @@ class CellParams:
     def retention_leakage_budget(self) -> float | None:
         """Maximum cell leakage current compatible with the retention spec (A).
 
-        A DRAM cell must retain > ~half its stored charge over a retention
-        period: I_max = Cs * (VDD/2) / t_ret.  Returns None for SRAM.
+        A refreshed cell must retain > ~half its stored charge over a
+        retention period: I_max = Cs * (VDD/2) / t_ret.  Returns None for
+        technologies that do not need refresh.
         """
-        if not self.is_dram:
+        if not self.tech.traits.needs_refresh:
             return None
         assert self.storage_cap is not None and self.retention_time is not None
         return self.storage_cap * (self.vdd_cell / 2.0) / self.retention_time
@@ -147,7 +163,7 @@ _SRAM_CELL_IOFF = {90: 0.020, 65: 0.028, 45: 0.036, 32: 0.045}
 def sram_cell(node_nm: float, vdd: float) -> CellParams:
     """6T SRAM cell on long-channel ITRS HP devices (paper Table 1)."""
     return CellParams(
-        tech=CellTech.SRAM,
+        tech=CellTech("sram"),
         feature_size=_f(node_nm),
         area_f2=146.0,
         width_f=17.0,
@@ -171,7 +187,7 @@ def lp_dram_cell(node_nm: float) -> CellParams:
     """
     vdd = _loglin(_LP_VDD, node_nm)
     return CellParams(
-        tech=CellTech.LP_DRAM,
+        tech=CellTech("lp-dram"),
         feature_size=_f(node_nm),
         area_f2=30.0,
         width_f=6.0,
@@ -198,7 +214,7 @@ def comm_dram_cell(node_nm: float) -> CellParams:
     """
     vdd = _loglin(_COMM_VDD, node_nm)
     return CellParams(
-        tech=CellTech.COMM_DRAM,
+        tech=CellTech("comm-dram"),
         feature_size=_f(node_nm),
         area_f2=6.0,
         width_f=3.0,
@@ -220,6 +236,90 @@ def comm_dram_cell(node_nm: float) -> CellParams:
     )
 
 
+#: The 6T SRAM cell: actively-driven differential bitlines, latch sensing,
+#: non-destructive reads, two inverter leakage paths per cell, column
+#: muxing legal, peripheral (logic) supply and top-metal routing.
+SRAM_TRAITS = CellTraits(
+    sensing=SensingScheme.CURRENT_LATCH,
+    destructive_read=False,
+    folded_bitline=False,
+    wordline_gates_per_cell=2.0,
+    sense_strip_height_f=20.0,
+    column_mux_allowed=True,
+    supports_page_mode=False,
+    max_bitline_cells=None,
+    needs_refresh=False,
+    cell_leak_paths=2.0,
+    precharge_swing_fraction=0.10,
+    precise_precharge=False,
+    write_swing_fraction=1.0,
+    write_pulse_time=0.0,
+    bitline_wire="local",
+    htree_wire="global",
+    default_periphery="hp-long-channel",
+    sleep_transistors_effective=True,
+)
+
+#: Shared 1T1C DRAM behavior: destructive charge-share readout on folded
+#: bitlines with a 512-cell sensing limit, VDD/2 precharge to reference
+#: precision, restore-as-write-back, refresh, no column muxing (the open
+#: row *is* the page).
+_DRAM_TRAITS = dict(
+    sensing=SensingScheme.CHARGE_SHARE,
+    destructive_read=True,
+    folded_bitline=True,
+    wordline_gates_per_cell=1.0,
+    sense_strip_height_f=40.0,
+    column_mux_allowed=False,
+    supports_page_mode=True,
+    max_bitline_cells=512,
+    needs_refresh=True,
+    cell_leak_paths=0.0,
+    precharge_swing_fraction=0.5,
+    precise_precharge=True,
+    write_swing_fraction=0.5,
+    write_pulse_time=0.0,
+)
+
+#: LP-DRAM embeds in a logic process: copper bitlines, fast top-metal
+#: H-tree, HP long-channel periphery (paper Table 1).
+LP_DRAM_TRAITS = CellTraits(
+    bitline_wire="local",
+    htree_wire="global",
+    default_periphery="hp-long-channel",
+    sleep_transistors_effective=False,
+    **_DRAM_TRAITS,
+)
+
+#: COMM-DRAM is a commodity DRAM process: tungsten bitlines, semi-global
+#: (intermediate-plane) H-tree at best, LSTP periphery (paper Table 1).
+COMM_DRAM_TRAITS = CellTraits(
+    bitline_wire="local-tungsten",
+    htree_wire="semi-global",
+    default_periphery="lstp",
+    sleep_transistors_effective=False,
+    **_DRAM_TRAITS,
+)
+
+
+register(MemoryTechnology(
+    name="sram",
+    traits=SRAM_TRAITS,
+    cell_builder=lambda node_nm, periph_vdd: sram_cell(node_nm, periph_vdd),
+))
+register(MemoryTechnology(
+    name="lp-dram",
+    traits=LP_DRAM_TRAITS,
+    # DRAM cells use their own core supply regardless of the periphery.
+    cell_builder=lambda node_nm, periph_vdd: lp_dram_cell(node_nm),
+))
+register(MemoryTechnology(
+    name="comm-dram",
+    traits=COMM_DRAM_TRAITS,
+    cell_builder=lambda node_nm, periph_vdd: comm_dram_cell(node_nm),
+))
+
+
 @lru_cache(maxsize=None)
 def cell(tech: CellTech, node_nm: float, periph_vdd: float) -> CellParams:
     """Build the cell parameters for ``tech`` at a node.
@@ -228,14 +328,9 @@ def cell(tech: CellTech, node_nm: float, periph_vdd: float) -> CellParams:
     :class:`CellParams` is frozen, so every candidate organization in an
     optimizer sweep shares one instance.
 
-    ``periph_vdd`` is the peripheral-circuit supply; SRAM cells share it
-    (paper Table 1 lists 0.9 V at 32 nm, the HP supply), while DRAM cells
-    use their own 1.0 V core supply regardless of the periphery.
+    ``periph_vdd`` is the peripheral-circuit supply; technologies whose
+    cells share the logic supply adopt it (paper Table 1 lists 0.9 V at
+    32 nm for SRAM, the HP supply), while technologies with their own
+    core supply (both DRAMs) ignore it.
     """
-    if tech is CellTech.SRAM:
-        return sram_cell(node_nm, periph_vdd)
-    if tech is CellTech.LP_DRAM:
-        return lp_dram_cell(node_nm)
-    if tech is CellTech.COMM_DRAM:
-        return comm_dram_cell(node_nm)
-    raise ValueError(f"unknown cell technology: {tech!r}")
+    return _registry.get(tech).build_cell(node_nm, periph_vdd)

@@ -48,14 +48,21 @@ class Technology:
             ) from None
 
     def cell(self, tech: CellTech, periph_device: str) -> CellParams:
-        """Build cell parameters; SRAM cells share the peripheral supply."""
+        """Build cell parameters; logic-supply cells share the peripheral
+        supply."""
         return cell(tech, self.node_nm, self.device(periph_device).vdd)
 
     def bitline_wire(self, cell_tech: CellTech) -> WireParams:
-        """Array bitline wiring: tungsten for COMM-DRAM, copper otherwise."""
-        if cell_tech is CellTech.COMM_DRAM:
+        """Array bitline wiring, per the technology's declared wire plane."""
+        if CellTech(cell_tech).traits.bitline_wire == "local-tungsten":
             return self.local_tungsten
         return self.local
+
+    def htree_wire(self, cell_tech: CellTech) -> WireParams:
+        """Bank-routing wiring, per the technology's declared wire plane."""
+        if CellTech(cell_tech).traits.htree_wire == "semi-global":
+            return self.semi_global
+        return self.global_
 
 
 @lru_cache(maxsize=None)

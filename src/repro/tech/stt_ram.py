@@ -1,0 +1,97 @@
+"""STT-RAM (spin-transfer-torque MRAM): the registry extensibility proof.
+
+A 1T1MTJ cell stores a bit in the parallel/anti-parallel state of a
+magnetic tunnel junction.  Reads are non-destructive current sensing --
+the access device drives a small read current through the MTJ and a
+latch compares the resulting bitline differential -- so the technology
+rides the same current-latch sensing path as SRAM.  Writes must push a
+large spin-polarized current through the junction for roughly 10 ns to
+flip the free layer, so writes are much slower than reads (the declared
+write pulse extends the row cycle).  The cell is nonvolatile: no
+refresh, and no static supply-leakage path through the storage element.
+
+This module deliberately touches *nothing* outside ``repro/tech/``: the
+array, circuit, and timing models pick all of the above up from the
+declared :class:`~repro.tech.registry.CellTraits`.  It is the worked
+example for docs/MODELING.md section 14 ("Adding a memory technology").
+
+Cell data is representative of 1T1MTJ projections in the emerging-memory
+modeling literature (e.g. the NVSim-class surveys): ~40 F^2 cell limited
+by the write-current-sized access transistor, logic-compatible supply,
+~10 ns switching pulse.
+"""
+
+from __future__ import annotations
+
+from repro.tech.cells import CellParams, _loglin
+from repro.tech.registry import (
+    CellTech,
+    CellTraits,
+    MemoryTechnology,
+    SensingScheme,
+    register,
+)
+
+#: MTJ write-pulse duration (s): the spin-torque switching time at the
+#: write current the access transistor can deliver.
+STT_WRITE_PULSE = 10e-9
+
+#: Access-device subthreshold leakage per width (A/m) -- an HP-class
+#: device; with the wordline low it only leaks into a floating bitline,
+#: not through the nonvolatile storage element, so the cell itself burns
+#: no static power (cell_leak_paths = 0).
+_STT_ACCESS_IOFF = {90: 0.012, 65: 0.018, 45: 0.024, 32: 0.030}
+
+STT_RAM_TRAITS = CellTraits(
+    sensing=SensingScheme.CURRENT_LATCH,
+    destructive_read=False,
+    folded_bitline=False,
+    wordline_gates_per_cell=1.0,
+    # Current-mode amps with reference columns: a wider strip than SRAM's
+    # simple voltage latch, but nowhere near a DRAM restore strip.
+    sense_strip_height_f=24.0,
+    column_mux_allowed=True,
+    supports_page_mode=False,
+    # Small TMR ratios bound the usable bitline length before the
+    # parallel/anti-parallel resistance difference drowns in wire drop.
+    max_bitline_cells=1024,
+    needs_refresh=False,
+    cell_leak_paths=0.0,
+    precharge_swing_fraction=0.10,
+    precise_precharge=False,
+    write_swing_fraction=1.0,
+    write_pulse_time=STT_WRITE_PULSE,
+    bitline_wire="local",
+    htree_wire="global",
+    default_periphery="hp-long-channel",
+    sleep_transistors_effective=False,
+)
+
+
+def stt_ram_cell(node_nm: float, periph_vdd: float) -> CellParams:
+    """1T1MTJ cell on the logic process, sharing the peripheral supply.
+
+    The access transistor is sized for write current (~2 F wide), which
+    sets the ~40 F^2 cell area; read current is the usual derated drive.
+    """
+    return CellParams(
+        tech=CellTech("stt-ram"),
+        feature_size=node_nm * 1e-9,
+        area_f2=40.0,
+        width_f=8.0,
+        height_f=5.0,
+        vdd_cell=periph_vdd,
+        access_width_f=2.0,
+        access_i_on=1100.0,  # A/m; HP-class logic access device
+        access_i_off=_loglin(_STT_ACCESS_IOFF, node_nm),
+        access_c_drain=0.4e-9,
+        access_c_junction=0.08e-15,
+        access_r_channel=2.5e-3,  # ohm*m
+    )
+
+
+register(MemoryTechnology(
+    name="stt-ram",
+    traits=STT_RAM_TRAITS,
+    cell_builder=stt_ram_cell,
+))

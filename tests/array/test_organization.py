@@ -98,7 +98,8 @@ class TestGeometryDerivation:
 
     def test_page_on_sram_rejected(self):
         spec = sram_spec(page_bits=4096)
-        with pytest.raises(InfeasibleOrganization, match="DRAM only"):
+        with pytest.raises(InfeasibleOrganization,
+                           match="page-mode technologies only"):
             build_organization(
                 TECH, spec, OrgParams(ndwl=4, ndbl=4, nspd=1.0, ndcm=8,
                                       ndsam=1)

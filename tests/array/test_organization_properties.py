@@ -42,16 +42,15 @@ def try_build(spec, org):
 def test_feasible_design_invariants(capacity_kb, ndwl, ndbl, nspd, ndcm,
                                     ndsam, cell_tech):
     """Every design the builder accepts satisfies the core invariants."""
-    if cell_tech.is_dram:
+    traits = cell_tech.traits
+    if not traits.column_mux_allowed:
         assume(ndcm == 1)
     spec = ArraySpec(
         capacity_bits=capacity_kb * 1024 * 8,
         output_bits=512,
         assoc=8,
         cell_tech=cell_tech,
-        periph_device_type=(
-            "lstp" if cell_tech is CellTech.COMM_DRAM else "hp-long-channel"
-        ),
+        periph_device_type=traits.default_periphery,
     )
     m = try_build(spec, OrgParams(ndwl, ndbl, nspd, ndcm, ndsam))
     assume(m is not None)
@@ -67,9 +66,12 @@ def test_feasible_design_invariants(capacity_kb, ndwl, ndbl, nspd, ndcm,
     assert m.t_random_cycle > 0
     assert m.t_interleave <= m.t_random_cycle * 1.0001
     assert m.t_access >= m.t_htree_in + m.t_htree_out
-    # Destructive readout only for DRAM.
-    assert (m.t_writeback > 0) == cell_tech.is_dram
-    assert (m.p_refresh > 0) == cell_tech.is_dram
+    # Writeback time: restore after a destructive read, or an explicit
+    # write pulse (e.g. stt-ram); refresh only where the traits say so.
+    assert (m.t_writeback > 0) == (
+        traits.destructive_read or traits.write_pulse_time > 0
+    )
+    assert (m.p_refresh > 0) == traits.needs_refresh
     # Energy decomposition.
     assert m.e_read_access == pytest.approx(
         m.e_activate + m.e_read_column + m.e_precharge

@@ -1,0 +1,90 @@
+"""Mixed-technology caches: tag and data arrays in different cells.
+
+The registry makes the tag technology a first-class axis: any registered
+technology can hold the tags of any other.  These tests solve every
+ordered (data, tag) pair of registered technologies and check the
+solution is internally consistent, that the solve-cache key separates
+every technology (a cached sram solve must never answer an stt-ram
+query), and that reports name both technologies.
+"""
+
+import itertools
+
+import pytest
+
+from repro.array.organization import ArraySpec
+from repro.core.cacti import solve
+from repro.core.config import MemorySpec, OptimizationTarget
+from repro.core.solvecache import solve_key, spec_from_dict, spec_to_dict
+from repro.tech.registry import CellTech, registered_names
+
+MIXED_PAIRS = [
+    pytest.param(data, tag, id=f"{data}-tags-{tag}")
+    for data, tag in itertools.permutations(registered_names(), 2)
+]
+
+
+def mixed_spec(data: str, tag: str) -> MemorySpec:
+    return MemorySpec(
+        capacity_bytes=1 << 20,
+        associativity=8,
+        cell_tech=data,
+        tag_cell_tech=tag,
+    )
+
+
+@pytest.mark.parametrize("data_tech,tag_tech", MIXED_PAIRS)
+def test_every_pair_solves(data_tech, tag_tech):
+    solution = solve(mixed_spec(data_tech, tag_tech))
+    assert solution.data.spec.cell_tech is CellTech(data_tech)
+    assert solution.tag.spec.cell_tech is CellTech(tag_tech)
+    # Each array obeys its own technology's traits.
+    tag_traits = CellTech(tag_tech).traits
+    assert (solution.tag.p_refresh > 0) == tag_traits.needs_refresh
+    report = solution.run_report()
+    assert report["spec"]["cell_tech"] == data_tech
+    assert report["tag"]["cell_tech"] == tag_tech
+    assert report["tag"]["cell_traits"]["sensing"] == (
+        tag_traits.sensing.value
+    )
+
+
+@pytest.mark.parametrize("data_tech,tag_tech", MIXED_PAIRS)
+def test_mixed_pair_differs_from_uniform(data_tech, tag_tech):
+    """A mixed cache is not the uniform cache of either technology."""
+    mixed = solve(mixed_spec(data_tech, tag_tech))
+    uniform = solve(mixed_spec(data_tech, data_tech))
+    assert mixed.tag.spec.cell_tech is not uniform.tag.spec.cell_tech
+
+
+def test_solve_keys_distinct_across_all_technologies():
+    """The cache key separates every registered technology, for both a
+    data-array spec and the same spec reused as a tag array."""
+    target = OptimizationTarget()
+    keys = {}
+    for name in registered_names():
+        spec = ArraySpec(
+            capacity_bits=8 * (64 << 10),
+            output_bits=512,
+            assoc=8,
+            cell_tech=CellTech(name),
+            periph_device_type=CellTech(name).traits.default_periphery,
+        )
+        keys[name] = solve_key(spec, target, 32.0)
+    assert len(set(keys.values())) == len(keys)
+
+
+def test_spec_round_trips_by_registry_name():
+    """ArraySpec -> dict -> ArraySpec preserves the interned handle."""
+    for name in registered_names():
+        spec = ArraySpec(
+            capacity_bits=8 * (64 << 10),
+            output_bits=512,
+            assoc=8,
+            cell_tech=CellTech(name),
+            periph_device_type="hp-long-channel",
+        )
+        d = spec_to_dict(spec)
+        assert d["cell_tech"] == name  # plain JSON string
+        assert spec_from_dict(d) == spec
+        assert spec_from_dict(d).cell_tech is CellTech(name)

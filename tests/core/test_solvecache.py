@@ -126,6 +126,30 @@ class TestSolveCache:
         path.write_text(json.dumps(payload))
         assert len(SolveCache(path)) == 0
 
+    def test_v2_cache_ignored_not_corrupted(self, tmp_path, best):
+        """Migration contract for the v3 (registry) key-scheme bump: a
+        v2 cache file loads as empty -- never an error, never served --
+        and stays byte-identical on disk until the first flush rewrites
+        it at v3."""
+        path = tmp_path / "c.json"
+        v2_payload = json.dumps({
+            "version": "repro-solve-cache-v2",
+            "records": {"deadbeef": {"rows": 64}},
+        })
+        path.write_text(v2_payload)
+        cache = SolveCache(path)
+        assert len(cache) == 0
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        # Reads never touch the file: the v2 records are still intact.
+        assert path.read_text() == v2_payload
+        # The first flush rewrites at v3, dropping the stale records.
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == CACHE_VERSION
+        assert "deadbeef" not in payload["records"]
+        assert SolveCache(path).get(SPEC, TARGET, 32.0) == best
+
     def test_version_stamp_written(self, tmp_path, best):
         path = tmp_path / "c.json"
         put_and_flush(path, SPEC, TARGET, 32.0, best)

@@ -1,0 +1,95 @@
+"""STT-RAM end-to-end: a technology added purely through the registry.
+
+``repro.tech.stt_ram`` registers a 1T1MTJ technology -- non-destructive
+current-latch read, slow asymmetric write pulse, no refresh -- without
+touching ``repro/array/`` or ``repro/models/``.  These tests drive it
+through the whole stack (spec -> optimizer -> solution -> report -> CLI)
+and check the solved numbers express the declared traits.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.cacti import solve
+from repro.core.config import MemorySpec
+from repro.tech.cells import cell
+from repro.tech.registry import CellTech, SensingScheme
+from repro.tech.stt_ram import STT_RAM_TRAITS, STT_WRITE_PULSE
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return solve(MemorySpec(capacity_bytes=256 << 10, associativity=8,
+                            cell_tech="stt-ram"))
+
+
+class TestRegistration:
+    def test_traits_resolve_by_name(self):
+        assert CellTech("stt-ram").traits is STT_RAM_TRAITS
+
+    def test_declared_behavior(self):
+        t = STT_RAM_TRAITS
+        assert t.sensing is SensingScheme.CURRENT_LATCH
+        assert not t.destructive_read
+        assert not t.needs_refresh
+        assert t.write_pulse_time == STT_WRITE_PULSE
+        assert t.column_mux_allowed
+
+    def test_cell_parameters_scale_with_node(self):
+        for node in (90, 65, 45, 32):
+            params = cell("stt-ram", float(node), periph_vdd=0.9)
+            assert params.tech is CellTech.STT_RAM
+            assert params.area_f2 == 40.0
+            assert params.retention_time is None  # no refresh
+
+
+class TestSolvedPhysics:
+    def test_solves_end_to_end(self, solution):
+        assert solution.data.spec.cell_tech is CellTech.STT_RAM
+        assert solution.access_time > 0
+        assert solution.area > 0
+
+    def test_no_refresh_power(self, solution):
+        assert solution.p_refresh == 0.0
+
+    def test_write_pulse_extends_row_cycle_not_access(self, solution):
+        """The MTJ write pulse holds the row for ~10 ns: the random
+        cycle absorbs it but the read access path does not."""
+        assert solution.data.t_writeback == STT_WRITE_PULSE
+        assert solution.data.t_random_cycle >= STT_WRITE_PULSE
+        assert solution.access_time < STT_WRITE_PULSE
+
+    def test_report_names_the_technology(self, solution):
+        report = solution.run_report()
+        assert report["spec"]["cell_tech"] == "stt-ram"
+        traits = report["spec"]["cell_traits"]
+        assert traits["sensing"] == "current-latch"
+        assert traits["needs_refresh"] is False
+        assert traits["write_pulse_time"] == STT_WRITE_PULSE
+
+
+class TestCli:
+    def test_cache_solve(self, capsys):
+        assert main(["cache", "--capacity", "64K", "--tech",
+                     "stt-ram"]) == 0
+        out = capsys.readouterr().out
+        assert "stt-ram" in out
+        assert "refresh power   : 0.000 mW" in out
+
+    def test_stt_ram_tags(self, capsys):
+        assert main(["cache", "--capacity", "64K", "--tech", "sram",
+                     "--tag-tech", "stt-ram"]) == 0
+
+    def test_technology_sweep(self, capsys):
+        assert main(["sweep", "--capacity", "64K",
+                     "--parameter", "cell_tech",
+                     "--values", "sram,stt-ram"]) == 0
+        out = capsys.readouterr().out
+        assert "stt-ram" in out
+
+    def test_unknown_technology_exits_2_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "--capacity", "64K", "--tech", "pcm"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "stt-ram" in err and "sram" in err

@@ -1,0 +1,82 @@
+"""The technology-branch lint: the registry refactor stays refactored.
+
+``tools/lint_tech_branches.py`` fails CI when model code outside
+``repro/tech/`` compares ``CellTech`` members or queries ``.is_dram``
+-- the branches the trait system replaced.  These tests pin down what
+the lint flags, what it allows, and that the shipped tree is clean.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "lint_tech_branches.py"
+
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_tech_branches import lint_file  # noqa: E402
+
+
+def problems_in(tmp_path, source: str):
+    path = tmp_path / "model.py"
+    path.write_text(source)
+    return lint_file(path)
+
+
+class TestFlagged:
+    def test_identity_comparison(self, tmp_path):
+        problems = problems_in(
+            tmp_path, "x = 1 if tech is CellTech.SRAM else 2\n"
+        )
+        assert len(problems) == 1
+        assert "CellTech member" in problems[0][2]
+
+    def test_equality_and_membership(self, tmp_path):
+        source = (
+            "a = spec.cell_tech == CellTech.LP_DRAM\n"
+            "b = spec.cell_tech in (CellTech.LP_DRAM, other)\n"
+            "c = cells.CellTech.COMM_DRAM != spec.cell_tech\n"
+        )
+        assert len(problems_in(tmp_path, source)) == 3
+
+    def test_is_dram_attribute(self, tmp_path):
+        problems = problems_in(
+            tmp_path, "if spec.cell_tech.is_dram:\n    pass\n"
+        )
+        assert len(problems) == 1
+        assert "is_dram" in problems[0][2]
+
+
+class TestAllowed:
+    def test_plain_member_use_is_fine(self, tmp_path):
+        """Naming a technology is not branching on one."""
+        source = (
+            "spec = ArraySpec(cell_tech=CellTech.SRAM)\n"
+            "techs = [CellTech.SRAM, CellTech.COMM_DRAM]\n"
+        )
+        assert problems_in(tmp_path, source) == []
+
+    def test_trait_queries_are_fine(self, tmp_path):
+        source = (
+            "if spec.cell_tech.traits.needs_refresh:\n    pass\n"
+            "x = traits.sensing is SensingScheme.CHARGE_SHARE\n"
+        )
+        assert problems_in(tmp_path, source) == []
+
+    def test_repro_tech_is_exempt(self):
+        from lint_tech_branches import lint
+
+        registry = REPO / "src" / "repro" / "tech" / "registry.py"
+        assert lint([registry]) == []
+
+
+class TestShippedTree:
+    def test_src_repro_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, str(LINT)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stdout

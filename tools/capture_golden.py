@@ -1,0 +1,149 @@
+"""Capture the golden-equivalence baseline for the triad technologies.
+
+Writes ``tests/data/golden_triad.json``: bit-exact solved numbers for
+representative SRAM, LP-DRAM, and COMM-DRAM solves (including the
+paper's Table-3 rows and the DDR3 validation part), recorded *before*
+the technology-registry refactor.  The regression suite in
+``tests/core/test_golden_triad.py`` re-solves the same inputs and
+asserts field-for-field float equality against this file, at several
+job counts -- proving a refactor changed no numbers.
+
+JSON round-trips are exact: ``json`` emits the shortest repr of each
+float, which parses back to the same IEEE-754 value.
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.cacti import solve  # noqa: E402
+from repro.core.config import (  # noqa: E402
+    DENSITY_OPTIMIZED,
+    ENERGY_DELAY_OPTIMIZED,
+    MemorySpec,
+    OptimizationTarget,
+)
+from repro.core.solvecache import metrics_to_dict  # noqa: E402
+from repro.study.table3 import solve_table3  # noqa: E402
+from repro.tech.cells import CellTech  # noqa: E402
+from repro.validation.compare import validate_ddr3  # noqa: E402
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data"
+
+#: The recorded solve grid: (id, MemorySpec kwargs, target name).
+#: ``cell_tech`` / ``tag_cell_tech`` are registry names, resolved at
+#: solve time, so the capture script and the regression test build the
+#: exact same specs whatever the CellTech representation is.
+SOLVE_GRID = [
+    (
+        "sram-2m",
+        dict(capacity_bytes=2 << 20, associativity=8, cell_tech="sram"),
+        "balanced",
+    ),
+    (
+        "lp-dram-4m",
+        dict(capacity_bytes=4 << 20, associativity=8, cell_tech="lp-dram"),
+        "balanced",
+    ),
+    (
+        "comm-dram-16m",
+        dict(
+            capacity_bytes=16 << 20,
+            associativity=16,
+            nbanks=4,
+            cell_tech="comm-dram",
+        ),
+        "density",
+    ),
+    (
+        "mixed-comm-sram-tags",
+        dict(
+            capacity_bytes=8 << 20,
+            associativity=8,
+            cell_tech="comm-dram",
+            tag_cell_tech="sram",
+        ),
+        "balanced",
+    ),
+    (
+        "sram-78nm",
+        dict(capacity_bytes=1 << 20, associativity=8, node_nm=78.0,
+             cell_tech="sram"),
+        "energy-delay",
+    ),
+]
+
+TARGETS = {
+    "balanced": OptimizationTarget(),
+    "density": DENSITY_OPTIMIZED,
+    "energy-delay": ENERGY_DELAY_OPTIMIZED,
+}
+
+
+def build_spec(kwargs: dict) -> MemorySpec:
+    kwargs = dict(kwargs)
+    kwargs["cell_tech"] = CellTech(kwargs["cell_tech"])
+    if "tag_cell_tech" in kwargs:
+        kwargs["tag_cell_tech"] = CellTech(kwargs["tag_cell_tech"])
+    return MemorySpec(**kwargs)
+
+
+def capture_solves() -> list[dict]:
+    records = []
+    for solve_id, spec_kwargs, target_name in SOLVE_GRID:
+        solution = solve(build_spec(spec_kwargs), TARGETS[target_name])
+        records.append({
+            "id": solve_id,
+            "spec": spec_kwargs,
+            "target": target_name,
+            "data": metrics_to_dict(solution.data),
+            "tag": (
+                metrics_to_dict(solution.tag)
+                if solution.tag is not None else None
+            ),
+        })
+    return records
+
+
+def capture_table3() -> dict:
+    return {
+        name: dataclasses.asdict(row)
+        for name, row in solve_table3().items()
+    }
+
+
+def capture_ddr3() -> dict:
+    v = validate_ddr3()
+    timing = dataclasses.asdict(v.solution.timing)
+    energies = dataclasses.asdict(v.solution.energies)
+    return {
+        "errors": dict(v.errors),
+        "timing": timing,
+        "energies": energies,
+        "area_efficiency": v.solution.area_efficiency,
+    }
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "solves": capture_solves(),
+        "table3": capture_table3(),
+        "ddr3": capture_ddr3(),
+    }
+    path = OUT / "golden_triad.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
