@@ -1,0 +1,98 @@
+"""Vectorized-kernel speedup over the scalar per-candidate sweep.
+
+Solves the BENCH_parallel spec batch twice on a single core -- once
+with the numpy survivor-batch kernels active (the default) and once
+with ``kernels.disabled()`` forcing the scalar object path -- and
+records the wall-clock pair and speedup into ``BENCH_kernels.json`` at
+the repo root.  Also asserts the kernels' correctness contract
+(bit-identical solutions to the scalar path) and a conservative >= 2x
+single-core speedup floor that holds even on noisy shared CI runners;
+the real target, an order of magnitude, is what the recorded number
+documents on quiet hardware.
+"""
+
+import json
+import os
+import time
+
+from repro.array import kernels
+from repro.core.cacti import solve_batch
+from repro.core.config import MemorySpec
+from repro.core.optimizer import SweepStats
+from repro.tech.cells import CellTech
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_kernels.json"
+)
+
+#: The same design-space-exploration-shaped batch BENCH_parallel times:
+#: LLC candidates across capacities and cell technologies.
+BATCH = [
+    MemorySpec(capacity_bytes=cap, cell_tech=tech, associativity=8)
+    for cap in (1 << 20, 2 << 20, 4 << 20, 8 << 20)
+    for tech in (CellTech.SRAM, CellTech.LP_DRAM)
+]
+
+#: Conservative CI floor; quiet hardware lands far above it.
+MIN_SPEEDUP = 2.0
+
+
+def test_bench_kernels_vs_scalar_sweep():
+    if not kernels.enabled():
+        import pytest
+
+        pytest.skip("numpy kernels unavailable (no numpy or disabled)")
+
+    stats_fast = SweepStats()
+    t0 = time.perf_counter()
+    fast = solve_batch(BATCH, stats=stats_fast, jobs=1)
+    wall_fast = time.perf_counter() - t0
+
+    stats_slow = SweepStats()
+    with kernels.disabled():
+        t0 = time.perf_counter()
+        slow = solve_batch(BATCH, stats=stats_slow, jobs=1)
+        wall_slow = time.perf_counter() - t0
+
+    # Contract: the kernels change wall time only, never numbers.
+    for a, b in zip(fast, slow):
+        assert a.data == b.data
+        assert a.tag == b.tag
+
+    speedup = wall_slow / wall_fast
+    payload = {
+        "description": (
+            "single-core wall-clock time of one solve_batch over the "
+            "spec batch: vectorized survivor-batch kernels vs the "
+            "scalar per-candidate object path"
+        ),
+        "batch": [
+            f"{spec.capacity_bytes >> 20}MB {spec.cell_tech.value}"
+            for spec in BATCH
+        ],
+        "wall_time_s": {
+            "kernels": wall_fast,
+            "scalar": wall_slow,
+        },
+        "speedup": speedup,
+        "min_speedup_asserted": MIN_SPEEDUP,
+        "sweep_stats": {
+            "kernels": stats_fast.as_dict(),
+            "scalar": stats_slow.as_dict(),
+        },
+        "bit_identical": True,
+    }
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(
+        f"\nkernels: {wall_fast * 1e3:8.1f} ms   "
+        f"scalar: {wall_slow * 1e3:8.1f} ms   "
+        f"speedup: {speedup:.2f}x"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized kernels only {speedup:.2f}x over the scalar sweep "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

@@ -19,8 +19,16 @@ from repro.tech.devices import DeviceParams
 from repro.tech.nodes import Technology
 
 
-#: Delay of one branch buffer, in FO4s of the driving device.
-_BRANCH_BUFFER_FO4 = 2.0
+#: Delay of one branch buffer, in FO4s of the driving device.  Public:
+#: the vectorized kernels (:mod:`repro.array.kernels`) mirror the tree
+#: arithmetic array-wise and must use the identical constant.
+BRANCH_BUFFER_FO4 = 2.0
+_BRANCH_BUFFER_FO4 = BRANCH_BUFFER_FO4
+
+
+def htree_levels(num_mats: int) -> int:
+    """Branch levels of an H-tree fanning out to ``num_mats`` mats."""
+    return max(1, math.ceil(math.log2(max(num_mats, 2))))
 
 
 @dataclass(frozen=True)
@@ -108,7 +116,7 @@ def design_htree(
         tech.feature_size, max_repeater_delay_penalty
     )
     path = (bank_width + bank_height) / 2.0
-    levels = max(1, math.ceil(math.log2(max(num_mats, 2))))
+    levels = htree_levels(num_mats)
     return HTree(
         design=design,
         path_length=path,

@@ -721,34 +721,31 @@ def enumerate_feasible_orgs(
                         )
 
 
-def prefilter_grid(
+def survivor_arrays(
     spec: ArraySpec,
     max_ndwl: int = 64,
     max_ndbl: int = 64,
     nspd_values: tuple[float, ...] | None = None,
     max_mux: int | None = None,
-) -> list[tuple[OrgParams, OrgGeometry]]:
-    """Vectorized structural pre-filter over the entire candidate grid.
+):
+    """Raw survivor arrays of the vectorized structural pre-filter.
 
     Evaluates every feasibility expression of :func:`derive_geometry` --
     integral rows/columns, row/column ranges, the 512-row DRAM bitline
     sensing limit, mux divisibility, active-subarray and way-select
     counts, page matching -- as one numpy batch over the full
     (ndwl, ndbl, nspd, ndcm, ndsam) grid, instead of per-candidate
-    Python calls.  Returns exactly what ``list(enumerate_feasible_orgs(
-    spec, ...))`` returns: the same survivors, in the same enumeration
-    order (ranking ties break by that order), with the same geometries.
-    Falls back to the scalar enumeration when numpy is unavailable.
+    Python calls, and returns the surviving candidates as ten aligned
+    arrays ``(ndwl, ndbl, nspd, ndcm, ndsam, rows, cols, nact,
+    sensed_bits, sense_amps_per_sub)`` in enumeration order (the order
+    ranking ties break by).  Returns ``None`` when numpy is unavailable;
+    callers fall back to :func:`enumerate_feasible_orgs`.
 
     The arithmetic is float64/int64, the same IEEE-754 operations the
     scalar path performs, so the integrality tests agree bit for bit.
     """
     if _np is None:
-        return list(
-            enumerate_feasible_orgs(
-                spec, max_ndwl, max_ndbl, nspd_values, max_mux
-            )
-        )
+        return None
     axes = _org_grid(spec, max_ndwl, max_ndbl, nspd_values, max_mux)
     ndwls, ndbls, nspds, ndcms, ndsams = axes
     traits = spec.cell_tech.traits
@@ -791,6 +788,44 @@ def prefilter_grid(
             ok &= False
         else:
             ok &= sensed_bits == spec.page_bits
+    idx = _np.nonzero(ok)[0]
+    return (
+        w[idx],
+        b[idx],
+        s[idx],
+        c[idx],
+        m[idx],
+        rows[idx],
+        cols[idx],
+        nact[idx],
+        sensed_bits[idx],
+        sensed_per_sub[idx],
+    )
+
+
+def prefilter_grid(
+    spec: ArraySpec,
+    max_ndwl: int = 64,
+    max_ndbl: int = 64,
+    nspd_values: tuple[float, ...] | None = None,
+    max_mux: int | None = None,
+) -> list[tuple[OrgParams, OrgGeometry]]:
+    """Vectorized structural pre-filter over the entire candidate grid.
+
+    Thin object-materializing wrapper over :func:`survivor_arrays`:
+    returns exactly what ``list(enumerate_feasible_orgs(spec, ...))``
+    returns -- the same survivors, in the same enumeration order, with
+    the same geometries -- but computed as one numpy batch.  Falls back
+    to the scalar enumeration when numpy is unavailable.
+    """
+    arrays = survivor_arrays(spec, max_ndwl, max_ndbl, nspd_values, max_mux)
+    if arrays is None:
+        return list(
+            enumerate_feasible_orgs(
+                spec, max_ndwl, max_ndbl, nspd_values, max_mux
+            )
+        )
+    w, b, s, c, m, rows, cols, nact, sensed_bits, sensed_per_sub = arrays
     return [
         (
             OrgParams(int(w[i]), int(b[i]), float(s[i]), int(c[i]), int(m[i])),
@@ -802,7 +837,7 @@ def prefilter_grid(
                 sense_amps_per_sub=int(sensed_per_sub[i]),
             ),
         )
-        for i in _np.nonzero(ok)[0]
+        for i in range(len(w))
     ]
 
 

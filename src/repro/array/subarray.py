@@ -261,15 +261,18 @@ class Subarray:
     # ------------------------------------------------------------------ #
     # Per-access energies
 
-    def e_read_bitlines(self, num_sensed: int) -> float:
-        """Energy of sensing ``num_sensed`` bitline pairs on a read (J)."""
+    @cached_property
+    def e_sense_per_pair(self) -> float:
+        """Energy of sensing one bitline pair on a read (J)."""
         if self.traits.sensing is SensingScheme.CHARGE_SHARE:
-            per = self.sense_amp.restore_energy(
+            return self.sense_amp.restore_energy(
                 self.bitline_capacitance, self.cell.vdd_cell
             )
-        else:
-            per = self.sense_amp.latch_energy(self.bitline_capacitance)
-        return num_sensed * per
+        return self.sense_amp.latch_energy(self.bitline_capacitance)
+
+    def e_read_bitlines(self, num_sensed: int) -> float:
+        """Energy of sensing ``num_sensed`` bitline pairs on a read (J)."""
+        return num_sensed * self.e_sense_per_pair
 
     def e_write_bitlines(self, num_written: int) -> float:
         """Energy of driving ``num_written`` bitline pairs on a write (J).
@@ -292,8 +295,9 @@ class Subarray:
         """Energy of one wordline selection, including decode (J)."""
         return self.decoder.energy
 
-    def leakage(self, num_sense_amps: int) -> float:
-        """Static leakage of this subarray (W): cells + decoder + amps."""
+    @cached_property
+    def leakage_fixed(self) -> float:
+        """Sense-amp-independent leakage (W): cells + decoder."""
         cell_leak = (
             self.rows
             * self.cols
@@ -307,8 +311,11 @@ class Subarray:
         # leakage drains a storage node instead of the supply -- that
         # costs refresh energy (modeled separately), not static power.
         cell_leak *= self.traits.cell_leak_paths
-        sa_leak = num_sense_amps * self.sense_amp.leakage()
-        return cell_leak + self.decoder.leakage + sa_leak
+        return cell_leak + self.decoder.leakage
+
+    def leakage(self, num_sense_amps: int) -> float:
+        """Static leakage of this subarray (W): cells + decoder + amps."""
+        return self.leakage_fixed + num_sense_amps * self.sense_amp.leakage()
 
     # ------------------------------------------------------------------ #
     # Composite row timings

@@ -74,6 +74,24 @@ def _size_arg(text: str) -> int:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _jobs_arg(text: str) -> int | str:
+    """argparse ``type=`` wrapper for ``--jobs``: an integer or ``auto``.
+
+    ``auto`` defers the worker-count decision to
+    :func:`repro.core.parallel.effective_jobs`, which weighs the
+    machine and the workload (serial on one core or small sweeps,
+    where process fan-out costs more than it saves).
+    """
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from exc
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,9 +191,11 @@ def _build_parser() -> argparse.ArgumentParser:
                  "cache hit rates, wall time)",
         )
         solver.add_argument(
-            "--jobs", type=int, default=1, metavar="N",
+            "--jobs", type=_jobs_arg, default="auto", metavar="N",
             help="worker processes for the candidate sweep (1 = serial, "
-                 "0 = all cores); results are bit-identical at any N",
+                 "0 = all cores, 'auto' = serial or all cores by machine "
+                 "and workload; default auto); results are bit-identical "
+                 "at any setting",
         )
         solver.add_argument(
             "--trace", metavar="FILE", default=None,
@@ -338,7 +358,10 @@ def _run_table3(args: argparse.Namespace) -> int:
         knobs["stats"] = stats
     if obs is not None:
         knobs["obs"] = obs
-    if args.jobs != 1:
+    # "auto" resolves per-sweep and almost always to serial at table3's
+    # sizes, so it stays out of the knobs too -- the default invocation
+    # remains knob-free and keeps table3's memo of solved rows.
+    if args.jobs not in (1, "auto"):
         knobs["jobs"] = args.jobs
     if resilience is not None:
         knobs["resilience"] = resilience

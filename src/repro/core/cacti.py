@@ -14,9 +14,11 @@ Entry points:
   solves at one node.
 
 Every entry point takes ``jobs``: ``1`` (the default) is the plain
-serial path, ``N > 1`` fans work out over ``N`` worker processes, and
-``<= 0`` means all available cores.  Results are bit-identical at any
-job count -- parallelism only changes wall time.
+serial path, ``N > 1`` fans work out over ``N`` worker processes,
+``<= 0`` means all available cores, and ``"auto"`` picks serial or all
+cores from the machine and the workload size (worker processes cost
+more than they save on one core or tiny batches).  Results are
+bit-identical at any job count -- parallelism only changes wall time.
 """
 
 from __future__ import annotations
@@ -100,7 +102,7 @@ def solve(
     eval_cache: EvalCache | None = None,
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
 ) -> Solution:
@@ -211,7 +213,7 @@ def solve_batch(
     eval_cache: EvalCache | None = None,
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
 ) -> list[Solution]:
@@ -242,7 +244,9 @@ def solve_batch(
             raise ValueError(
                 f"{len(specs)} specs but {len(targets)} targets"
             )
-    jobs = parallel.resolve_jobs(jobs)
+    # Spec-level parallelism is coarse, so ``auto`` only needs two
+    # specs (and more than one core) to be worth a pool.
+    jobs = parallel.effective_jobs(jobs, len(specs), min_tasks=2)
     t0 = time.perf_counter()
     if resilience is not None:
         return _solve_batch_resilient(
@@ -459,7 +463,7 @@ def solve_main_memory(
     eval_cache: EvalCache | None = None,
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
 ) -> MainMemorySolution:
@@ -536,7 +540,7 @@ class CactiD:
         self,
         spec: MemorySpec,
         target: OptimizationTarget | None = None,
-        jobs: int = 1,
+        jobs: int | str = 1,
     ) -> Solution:
         self._check_node(spec)
         return solve(
@@ -556,7 +560,7 @@ class CactiD:
         target: (
             OptimizationTarget | Sequence[OptimizationTarget] | None
         ) = None,
-        jobs: int = 1,
+        jobs: int | str = 1,
     ) -> list[Solution]:
         """Solve many specs at this node, optionally across processes.
 
@@ -582,7 +586,7 @@ class CactiD:
         spec: MainMemorySpec,
         target: OptimizationTarget | None = None,
         clock_period: float = 0.0,
-        jobs: int = 1,
+        jobs: int | str = 1,
     ) -> MainMemorySolution:
         return solve_main_memory(
             spec,

@@ -43,6 +43,7 @@ from repro.array.organization import (
     prefilter_grid,
     prefilter_org,
 )
+from repro.array import kernels
 from repro.core import parallel
 from repro.core.config import OptimizationTarget
 from repro.obs import Obs, maybe_span
@@ -81,6 +82,12 @@ class SweepStats:
     worker_time_s: float = 0.0  #: wall time summed across worker processes
     workers_absorbed: int = 0  #: worker stats payloads merged in
     phase_times: dict = field(default_factory=dict)  #: named phase timers
+    #: Phase timers absorbed from worker payloads.  Kept separate from
+    #: ``phase_times`` so the parent's phase report stays wall-clock
+    #: true: at jobs=N a build phase runs its workers concurrently, and
+    #: summing their per-phase CPU into the parent's timers used to
+    #: report build=1.73 s against 0.66 s of actual wall time.
+    worker_phase_times: dict = field(default_factory=dict)
     _eval_marks: dict = field(default_factory=dict, repr=False)
 
     #: Counter fields summable across worker payloads.
@@ -140,6 +147,7 @@ class SweepStats:
             "worker_time_s": self.worker_time_s,
             "workers_absorbed": self.workers_absorbed,
             "phase_times": dict(self.phase_times),
+            "worker_phase_times": dict(self.worker_phase_times),
         }
 
     def summary(self) -> str:
@@ -175,6 +183,10 @@ class SweepStats:
             )
         for name, seconds in self.phase_times.items():
             lines.append(f"phase {name:<16}: {seconds * 1e3:.1f} ms")
+        for name, seconds in self.worker_phase_times.items():
+            lines.append(
+                f"worker phase {name:<9}: {seconds * 1e3:.1f} ms (CPU)"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
@@ -182,6 +194,12 @@ class SweepStats:
     def add_phase_time(self, name: str, seconds: float) -> None:
         """Accumulate wall time into the named phase timer."""
         self.phase_times[name] = self.phase_times.get(name, 0.0) + seconds
+
+    def add_worker_phase_time(self, name: str, seconds: float) -> None:
+        """Accumulate worker CPU time into the named worker phase timer."""
+        self.worker_phase_times[name] = (
+            self.worker_phase_times.get(name, 0.0) + seconds
+        )
 
     @contextmanager
     def phase(self, name: str):
@@ -199,8 +217,10 @@ class SweepStats:
         loop) or a full ``as_dict()`` snapshot of a worker-side
         SweepStats (from batch solves).  Unknown keys -- derived rates,
         pids -- are ignored; worker wall time lands in
-        ``worker_time_s``, never ``wall_time_s``, so the parent's own
-        wall clock stays meaningful.
+        ``worker_time_s``, never ``wall_time_s``, and worker phase
+        timers land in ``worker_phase_times``, never ``phase_times``,
+        so the parent's own wall-clock measurements stay meaningful
+        (concurrent workers sum to more CPU than wall time).
         """
         for name in self._ABSORBABLE:
             value = payload.get(name, 0)
@@ -211,7 +231,13 @@ class SweepStats:
         )
         self.worker_time_s += payload.get("worker_time_s", 0.0)
         for name, seconds in (payload.get("phase_times") or {}).items():
-            self.add_phase_time(name, seconds)
+            self.add_worker_phase_time(name, seconds)
+        # A worker that itself absorbed sub-workers forwards their
+        # phase CPU under this key; it stays worker-side here too.
+        for name, seconds in (
+            payload.get("worker_phase_times") or {}
+        ).items():
+            self.add_worker_phase_time(name, seconds)
         self.workers_absorbed += 1 + payload.get("workers_absorbed", 0)
 
     def _mark_eval_cache(self, cache: EvalCache) -> None:
@@ -240,9 +266,10 @@ def feasible_designs(
     cache: EvalCache | None = None,
     stats: SweepStats | None = None,
     prefilter: bool = True,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience=None,
+    candidates: list | None = None,
 ) -> list[ArrayMetrics]:
     """Evaluate every feasible partitioning of ``spec``.
 
@@ -251,10 +278,18 @@ def feasible_designs(
     equivalence testing); ``cache`` shares circuit designs across
     candidates; ``jobs > 1`` shards the surviving candidates across
     worker processes (worker-local caches, candidate-order-preserving
-    merge) with ``jobs=1`` the plain serial path; ``obs`` records
+    merge) with ``jobs=1`` the plain serial path and ``jobs="auto"``
+    choosing serial or all-cores from the machine and survivor count
+    (:func:`~repro.core.parallel.effective_jobs`); ``obs`` records
     prefilter/build spans and candidate/cache metrics.  None of them
     affects the returned metrics: the design list is bit-identical in
     every mode, including its order.
+
+    ``candidates`` lets a caller that already ran the vectorized
+    pre-filter inject the surviving ``(OrgParams, OrgGeometry)`` list
+    (it must be exactly what ``prefilter_grid(spec)`` returns); the
+    prefilter phase is then neither re-run nor re-timed here, but the
+    grid-level enumerated/prefiltered accounting still happens.
 
     ``resilience`` (a :class:`~repro.core.resilience.ResiliencePolicy`)
     applies to the parallel build only: crashed or hung candidate
@@ -274,70 +309,69 @@ def feasible_designs(
             cache.htree_misses,
         )
     designs = []
-    if orgs is None and prefilter and jobs != 1:
-        # Parallel path: batch-prefilter the whole grid, shard the
-        # survivors into contiguous chunks, merge in candidate order.
-        with obs_phase("prefilter", obs, stats):
-            candidates = prefilter_grid(spec)
-        with obs_phase(
-            "build", obs, stats, candidates=len(candidates), jobs=jobs
-        ) as build_span:
-            designs, worker_stats = parallel.build_designs_parallel(
-                tech.node_nm, spec, candidates, jobs,
-                with_obs=obs is not None,
-                resilience=resilience, stats=stats, obs=obs,
-            )
+    if orgs is None and prefilter:
+        # The structural pre-filter runs as one vectorized batch over
+        # the grid (scalar fused enumeration when numpy is missing), so
+        # rejected tuples cost a few arithmetic ops and no objects.
+        # The worker count is decided *after* it, so ``jobs="auto"``
+        # can weigh the actual survivor count.
+        if candidates is None:
+            with obs_phase("prefilter", obs, stats):
+                candidates = prefilter_grid(spec)
+        njobs = parallel.effective_jobs(jobs, len(candidates))
         grid = org_grid_size(spec)
         if stats is not None:
             stats.enumerated += grid
             stats.prefiltered += grid - len(candidates)
-            for payload in worker_stats:
-                stats.absorb_worker(payload)
         if obs is not None:
             obs.inc("optimizer.enumerated", grid)
             obs.inc("optimizer.prefiltered", grid - len(candidates))
-            obs.inc("parallel.chunks", len(worker_stats))
-            for payload in worker_stats:
-                obs.absorb_worker(payload.get("obs"))
-            worker_wall = sum(
-                p.get("worker_wall_time_s", 0.0) for p in worker_stats
-            )
-            njobs = parallel.resolve_jobs(jobs)
-            if build_span is not None and build_span.duration_s > 0:
-                obs.gauge(
-                    "parallel.worker_utilization",
-                    worker_wall / (build_span.duration_s * njobs),
+        if njobs != 1:
+            # Parallel path: shard the survivors into contiguous
+            # chunks, merge in candidate order.
+            with obs_phase(
+                "build", obs, stats, candidates=len(candidates), jobs=njobs
+            ) as build_span:
+                designs, worker_stats = parallel.build_designs_parallel(
+                    tech.node_nm, spec, candidates, njobs,
+                    with_obs=obs is not None,
+                    resilience=resilience, stats=stats, obs=obs,
                 )
-    elif orgs is None and prefilter:
-        # Serial fast path: the structural pre-filter runs as one
-        # vectorized batch over the grid (scalar fused enumeration when
-        # numpy is missing), so rejected tuples cost a few arithmetic
-        # ops and no objects.
-        with obs_phase("prefilter", obs, stats):
-            candidates = prefilter_grid(spec)
-        infeasible = 0
-        with obs_phase("build", obs, stats, candidates=len(candidates)):
-            for org, geometry in candidates:
-                try:
-                    designs.append(
-                        build_organization(
-                            tech, spec, org, cache=cache, geometry=geometry
-                        )
+            if stats is not None:
+                for payload in worker_stats:
+                    stats.absorb_worker(payload)
+            if obs is not None:
+                obs.inc("parallel.chunks", len(worker_stats))
+                for payload in worker_stats:
+                    obs.absorb_worker(payload.get("obs"))
+                worker_wall = sum(
+                    p.get("worker_wall_time_s", 0.0) for p in worker_stats
+                )
+                if build_span is not None and build_span.duration_s > 0:
+                    obs.gauge(
+                        "parallel.worker_utilization",
+                        worker_wall / (build_span.duration_s * njobs),
                     )
-                except (InfeasibleOrganization, InfeasibleSubarray):
-                    infeasible += 1
-                    continue
-        grid = org_grid_size(spec)
-        if stats is not None:
-            stats.enumerated += grid
-            stats.prefiltered += grid - len(candidates)
-            stats.built += len(candidates)
-            stats.infeasible_at_build += infeasible
-        if obs is not None:
-            obs.inc("optimizer.enumerated", grid)
-            obs.inc("optimizer.prefiltered", grid - len(candidates))
-            obs.inc("optimizer.built", len(candidates))
-            obs.inc("optimizer.infeasible_at_build", infeasible)
+        else:
+            infeasible = 0
+            with obs_phase("build", obs, stats, candidates=len(candidates)):
+                for org, geometry in candidates:
+                    try:
+                        designs.append(
+                            build_organization(
+                                tech, spec, org, cache=cache,
+                                geometry=geometry,
+                            )
+                        )
+                    except (InfeasibleOrganization, InfeasibleSubarray):
+                        infeasible += 1
+                        continue
+            if stats is not None:
+                stats.built += len(candidates)
+                stats.infeasible_at_build += infeasible
+            if obs is not None:
+                obs.inc("optimizer.built", len(candidates))
+                obs.inc("optimizer.infeasible_at_build", infeasible)
     else:
         enumerated = prefiltered = built = infeasible = 0
         with obs_phase("build", obs, stats):
@@ -419,23 +453,63 @@ def filter_constraints(
     ]
 
 
-def rank(
-    designs: list[ArrayMetrics], target: OptimizationTarget
-) -> list[ArrayMetrics]:
-    """Sort candidates by the normalized weighted objective, best first."""
+def rank_floors(
+    designs: list[ArrayMetrics],
+) -> tuple[float, float, float, float]:
+    """Normalization floors for :func:`rank`, in one pass over the set.
+
+    Returns ``(min_dynamic, min_leakage, min_cycle, min_interleave)``
+    with non-positive minima clamped to ``1e-30`` (the paper's guard
+    against degenerate zero-energy normalizers).  :func:`rank` used to
+    re-derive these with four separate scans on every call; computing
+    them once here lets callers that rank the same constrained set
+    repeatedly (or that already hold the metric arrays) reuse them.
+    """
     if not designs:
         raise NoFeasibleSolution(
             "no designs to rank: the constrained set is empty"
         )
+    min_dyn = min_leak = min_cycle = min_interleave = float("inf")
+    for d in designs:
+        if d.e_read_access < min_dyn:
+            min_dyn = d.e_read_access
+        leak = d.p_leakage + d.p_refresh
+        if leak < min_leak:
+            min_leak = leak
+        if d.t_random_cycle < min_cycle:
+            min_cycle = d.t_random_cycle
+        if d.t_interleave < min_interleave:
+            min_interleave = d.t_interleave
 
-    def floor(values: Iterable[float]) -> float:
-        smallest = min(values)
-        return smallest if smallest > 0.0 else 1e-30
+    def clamp(value: float) -> float:
+        return value if value > 0.0 else 1e-30
 
-    min_dyn = floor(d.e_read_access for d in designs)
-    min_leak = floor(d.p_leakage + d.p_refresh for d in designs)
-    min_cycle = floor(d.t_random_cycle for d in designs)
-    min_interleave = floor(d.t_interleave for d in designs)
+    return (
+        clamp(min_dyn),
+        clamp(min_leak),
+        clamp(min_cycle),
+        clamp(min_interleave),
+    )
+
+
+def rank(
+    designs: list[ArrayMetrics],
+    target: OptimizationTarget,
+    *,
+    floors: tuple[float, float, float, float] | None = None,
+) -> list[ArrayMetrics]:
+    """Sort candidates by the normalized weighted objective, best first.
+
+    ``floors`` optionally supplies precomputed :func:`rank_floors` for
+    this design set, skipping the normalization pass.
+    """
+    if not designs:
+        raise NoFeasibleSolution(
+            "no designs to rank: the constrained set is empty"
+        )
+    if floors is None:
+        floors = rank_floors(designs)
+    min_dyn, min_leak, min_cycle, min_interleave = floors
 
     def score(d: ArrayMetrics) -> float:
         return (
@@ -448,6 +522,135 @@ def rank(
     return sorted(designs, key=score)
 
 
+def _rank_vectorized(
+    tech: Technology,
+    spec: ArraySpec,
+    target: OptimizationTarget,
+    batch,
+    *,
+    eval_cache: EvalCache,
+    stats: SweepStats | None,
+    obs: Obs | None,
+    limit: int | None,
+) -> list[ArrayMetrics]:
+    """Array-kernel sweep: evaluate, constrain, rank, then materialize.
+
+    Runs :func:`~repro.array.kernels.evaluate_batch` /
+    :func:`~repro.array.kernels.rank_batch` over the whole survivor
+    ``batch`` and constructs full :class:`ArrayMetrics` objects only
+    for the top ``limit`` ranked candidates (all of them when ``limit``
+    is None).  Counter accounting matches the scalar sweep: eval-cache
+    deltas are absorbed *before* winner materialization, so
+    ``subarray_hits + subarray_misses == built`` holds; H-tree cache
+    counters advance only for the materialized winners (the batch path
+    replaces per-candidate tree objects with closed-form arithmetic).
+    """
+    grid = org_grid_size(spec)
+    if stats is not None:
+        stats.enumerated += grid
+        stats.prefiltered += grid - batch.size
+        stats._mark_eval_cache(eval_cache)
+    if obs is not None:
+        obs.inc("optimizer.enumerated", grid)
+        obs.inc("optimizer.prefiltered", grid - batch.size)
+        eval_before = (
+            eval_cache.subarray_hits,
+            eval_cache.subarray_misses,
+            eval_cache.htree_hits,
+            eval_cache.htree_misses,
+        )
+    with obs_phase("build", obs, stats, candidates=batch.size):
+        ev = kernels.evaluate_batch(tech, spec, batch, eval_cache)
+    if stats is not None:
+        stats.built += batch.size
+        stats.infeasible_at_build += ev.n_infeasible
+        stats.feasible += ev.size
+        stats._absorb_eval_cache(eval_cache)
+    if obs is not None:
+        obs.inc("optimizer.built", batch.size)
+        obs.inc("optimizer.infeasible_at_build", ev.n_infeasible)
+        obs.inc("optimizer.feasible", ev.size)
+        obs.inc(
+            "eval_cache.subarray.hits",
+            eval_cache.subarray_hits - eval_before[0],
+        )
+        obs.inc(
+            "eval_cache.subarray.misses",
+            eval_cache.subarray_misses - eval_before[1],
+        )
+        obs.inc(
+            "eval_cache.htree.hits",
+            eval_cache.htree_hits - eval_before[2],
+        )
+        obs.inc(
+            "eval_cache.htree.misses",
+            eval_cache.htree_misses - eval_before[3],
+        )
+    if ev.size == 0:
+        raise NoFeasibleSolution(
+            f"no feasible organization for {spec.capacity_bits} bits of "
+            f"{spec.cell_tech.value} in {spec.nbanks} bank(s)"
+        )
+    with obs_phase("rank", obs, stats, designs=ev.size):
+        order = kernels.rank_batch(ev, target)
+        if limit is not None:
+            order = order[:limit]
+        ranked = []
+        for i in order:
+            org, geometry = ev.batch.org_at(int(i))
+            ranked.append(
+                build_organization(
+                    tech, spec, org, cache=eval_cache, geometry=geometry
+                )
+            )
+    return ranked
+
+
+def _ranked_designs(
+    tech: Technology,
+    spec: ArraySpec,
+    target: OptimizationTarget,
+    *,
+    eval_cache: EvalCache,
+    stats: SweepStats | None,
+    jobs: int | str,
+    obs: Obs | None,
+    resilience=None,
+    limit: int | None = None,
+) -> list[ArrayMetrics]:
+    """Shared enumerate → filter → rank pipeline behind :func:`optimize`
+    and :func:`pareto_solutions`.
+
+    When the vectorized kernels are active and the sweep would run
+    serially anyway (``jobs`` resolves to 1 for this survivor count),
+    the whole per-candidate composition collapses into
+    :func:`_rank_vectorized`.  Otherwise the scalar/parallel
+    :func:`feasible_designs` path runs, reusing the batch's already
+    pre-filtered candidate list so the grid is never scanned twice.
+    ``limit`` bounds how many ranked designs are materialized on the
+    vectorized path only; the scalar path always returns the full
+    ranked list (the objects already exist).
+    """
+    candidates = None
+    if kernels.enabled():
+        with obs_phase("prefilter", obs, stats):
+            batch = kernels.survivor_batch(spec)
+        if batch is not None:
+            if parallel.effective_jobs(jobs, batch.size) == 1:
+                return _rank_vectorized(
+                    tech, spec, target, batch,
+                    eval_cache=eval_cache, stats=stats, obs=obs,
+                    limit=limit,
+                )
+            candidates = batch.candidates()
+    designs = feasible_designs(
+        tech, spec, cache=eval_cache, stats=stats, jobs=jobs, obs=obs,
+        resilience=resilience, candidates=candidates,
+    )
+    with obs_phase("rank", obs, stats, designs=len(designs)):
+        return rank(filter_constraints(designs, target), target)
+
+
 def optimize(
     tech: Technology,
     spec: ArraySpec,
@@ -456,7 +659,7 @@ def optimize(
     eval_cache: EvalCache | None = None,
     solve_cache=None,
     stats: SweepStats | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience=None,
 ) -> ArrayMetrics:
@@ -468,10 +671,16 @@ def optimize(
     flushed after -- the sweep; ``stats`` accumulates
     :class:`SweepStats` counters in place; ``jobs`` spreads candidate
     construction over worker processes (``1`` = serial, ``<= 0`` = all
-    cores); ``obs`` records an ``optimize`` span with nested
+    cores, ``"auto"`` = serial or all cores by machine and survivor
+    count); ``obs`` records an ``optimize`` span with nested
     prefilter/build/rank children plus cache-hit metrics.  None of them
     changes any returned number.  ``resilience`` makes the parallel
     candidate build fault tolerant (see :func:`feasible_designs`).
+
+    When the sweep runs serially and numpy is available, candidate
+    evaluation goes through the vectorized kernels
+    (:mod:`repro.array.kernels`) -- bit-identical, order-of-magnitude
+    faster; ``REPRO_KERNELS=0`` forces the scalar object path.
     """
     t0 = time.perf_counter()
     with maybe_span(
@@ -505,12 +714,10 @@ def optimize(
         if eval_cache is None:
             eval_cache = EvalCache()
         swept = _with_repeater_penalty(spec, target)
-        designs = feasible_designs(
-            tech, swept, cache=eval_cache, stats=stats, jobs=jobs, obs=obs,
-            resilience=resilience,
-        )
-        with obs_phase("rank", obs, stats, designs=len(designs)):
-            best = rank(filter_constraints(designs, target), target)[0]
+        best = _ranked_designs(
+            tech, swept, target, eval_cache=eval_cache, stats=stats,
+            jobs=jobs, obs=obs, resilience=resilience, limit=1,
+        )[0]
         if solve_cache is not None:
             solve_cache.put(spec, target, tech.node_nm, best)
             # Solve-boundary flush: deferred (one write per batch) when
@@ -530,7 +737,7 @@ def pareto_solutions(
     *,
     eval_cache: EvalCache | None = None,
     stats: SweepStats | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
 ) -> list[ArrayMetrics]:
     """All constraint-satisfying designs, ranked -- the solution cloud the
@@ -546,11 +753,10 @@ def pareto_solutions(
         if eval_cache is None:
             eval_cache = EvalCache()
         spec = _with_repeater_penalty(spec, target)
-        designs = feasible_designs(
-            tech, spec, cache=eval_cache, stats=stats, jobs=jobs, obs=obs
+        ranked = _ranked_designs(
+            tech, spec, target, eval_cache=eval_cache, stats=stats,
+            jobs=jobs, obs=obs,
         )
-        with obs_phase("rank", obs, stats, designs=len(designs)):
-            ranked = rank(filter_constraints(designs, target), target)
         if stats is not None:
             stats.wall_time_s += time.perf_counter() - t0
         return ranked

@@ -76,19 +76,61 @@ _WORKER_EVAL_CACHE = None
 _WORKER_SOLVE_CACHES: dict = {}
 
 
-def resolve_jobs(jobs: int | None) -> int:
+#: Sentinel worker-count request: let the engine decide (see
+#: :func:`effective_jobs`).  The CLI default.
+AUTO_JOBS = "auto"
+
+#: Under ``jobs="auto"``, parallelize a candidate sweep only when at
+#: least this many post-prefilter survivors are on the table.  Below
+#: it, per-candidate work is too small to amortize worker forks and
+#: payload pickling (BENCH_parallel.json: jobs=2 regressed to 0.68x on
+#: a small grid), so auto falls back to the serial path.
+AUTO_MIN_TASKS = 4096
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
     """Normalize a worker-count request.
 
-    ``None`` or a non-positive count means "all available cores"
-    (respecting CPU affinity where the platform exposes it); any
-    positive count is taken literally.
+    ``None``, a non-positive count, or :data:`AUTO_JOBS` means "all
+    available cores" (respecting CPU affinity where the platform
+    exposes it); any positive count is taken literally.  Callers that
+    know their task count should prefer :func:`effective_jobs`, which
+    gives ``"auto"`` its serial-fallback heuristic.
     """
+    if jobs == AUTO_JOBS:
+        jobs = None
     if jobs is None or jobs <= 0:
         try:
             return max(1, len(os.sched_getaffinity(0)))
         except AttributeError:  # pragma: no cover - non-Linux
             return max(1, os.cpu_count() or 1)
     return int(jobs)
+
+
+def effective_jobs(
+    jobs: int | str | None,
+    n_tasks: int | None = None,
+    *,
+    min_tasks: int = AUTO_MIN_TASKS,
+) -> int:
+    """Resolve a jobs request, giving ``"auto"`` its heuristic.
+
+    Explicit requests are honored as :func:`resolve_jobs` always has
+    (``1`` serial, ``N`` literal, ``None``/``<= 0`` all cores).
+    ``"auto"`` picks all cores only when that can plausibly win: it
+    falls back to serial when the machine has a single usable core
+    (workers would just add fork and pickling overhead) or when the
+    workload -- ``n_tasks``, if the caller knows it -- is below
+    ``min_tasks``.
+    """
+    if jobs != AUTO_JOBS:
+        return resolve_jobs(jobs)
+    cores = resolve_jobs(None)
+    if cores <= 1:
+        return 1
+    if n_tasks is not None and n_tasks < min_tasks:
+        return 1
+    return cores
 
 
 def chunk_evenly(

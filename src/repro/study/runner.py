@@ -186,7 +186,7 @@ def run_study(
     scale: int = DEFAULT_SCALE,
     instructions_per_thread: int | None = None,
     seed: int = 1234,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
     stats=None,
@@ -228,6 +228,9 @@ def run_study(
         for profile in profiles
         for config_name in configs
     ]
+    # Cell-level parallelism is coarse: ``auto`` only needs two cells
+    # (and more than one core) to be worth a pool.
+    jobs = parallel.effective_jobs(jobs, len(payloads), min_tasks=2)
     keys = None
     if resilience is not None and resilience.journal is not None:
         keys = [

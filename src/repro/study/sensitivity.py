@@ -182,7 +182,7 @@ def sweep(
     eval_cache: EvalCache | None = None,
     solve_cache: SolveCache | None = None,
     stats: SweepStats | None = None,
-    jobs: int = 1,
+    jobs: int | str = 1,
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
 ) -> SensitivityResult:
@@ -214,7 +214,11 @@ def sweep(
             specs.append(replace(base, **{parameter: value}))
         except ValueError:
             specs.append(None)
-    jobs = parallel.resolve_jobs(jobs)
+    # Point-level parallelism is coarse: ``auto`` only needs two live
+    # points (and more than one core) to be worth a pool.
+    jobs = parallel.effective_jobs(
+        jobs, sum(s is not None for s in specs), min_tasks=2
+    )
     solutions: list[Solution | None]
     failures: list[TaskFailure] = []
     with maybe_span(

@@ -12,6 +12,7 @@ from repro.core.optimizer import (
     optimize,
     pareto_solutions,
     rank,
+    rank_floors,
 )
 from repro.tech.cells import CellTech
 from repro.tech.nodes import technology
@@ -157,6 +158,35 @@ class TestRanking:
 
         scores = [score(d) for d in ranked]
         assert scores == sorted(scores)
+
+    def test_rank_floors_match_per_metric_minima(self, designs):
+        min_dyn, min_leak, min_cyc, min_int = rank_floors(designs)
+        assert min_dyn == min(d.e_read_access for d in designs)
+        assert min_leak == min(d.p_leakage + d.p_refresh for d in designs)
+        assert min_cyc == min(d.t_random_cycle for d in designs)
+        assert min_int == min(d.t_interleave for d in designs)
+
+    def test_rank_floors_clamp_nonpositive_minima(self, designs):
+        import dataclasses
+
+        refresh_free = [
+            dataclasses.replace(d, p_refresh=0.0, p_leakage=0.0)
+            for d in designs[:3]
+        ]
+        floors = rank_floors(refresh_free)
+        assert floors[1] == 1e-30
+
+    def test_rank_floors_empty_raises_no_feasible(self):
+        with pytest.raises(NoFeasibleSolution):
+            rank_floors([])
+
+    def test_precomputed_floors_leave_ranking_unchanged(self, designs):
+        """The hoisted-floors fast path must reproduce the recomputing
+        path's ordering exactly (same objects, same order)."""
+        target = OptimizationTarget(weight_leakage=3.0, weight_cycle=2.0)
+        baseline = rank(designs, target)
+        hoisted = rank(designs, target, floors=rank_floors(designs))
+        assert [id(d) for d in hoisted] == [id(d) for d in baseline]
 
     def test_weights_steer_selection(self, designs):
         """Cranking the leakage weight must not pick a leakier design than

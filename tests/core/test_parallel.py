@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.array import kernels
 from repro.array.organization import ArraySpec, EvalCache
 from repro.core import parallel
 from repro.core.cacti import solve, solve_batch, CactiD
@@ -39,6 +40,43 @@ class TestResolveJobs:
         assert resolve_jobs(None) >= 1
         assert resolve_jobs(0) >= 1
         assert resolve_jobs(-1) >= 1
+
+    def test_auto_sentinel_resolves_to_all_cores(self):
+        assert resolve_jobs("auto") == resolve_jobs(None)
+
+
+class TestEffectiveJobs:
+    def test_explicit_requests_bypass_the_heuristic(self):
+        # A literal count is honored even for tiny workloads -- only
+        # "auto" second-guesses the caller.
+        assert parallel.effective_jobs(1, n_tasks=10_000_000) == 1
+        assert parallel.effective_jobs(7, n_tasks=1) == 7
+        assert parallel.effective_jobs(0, n_tasks=1) == resolve_jobs(None)
+
+    def test_auto_goes_serial_below_min_tasks(self):
+        assert parallel.effective_jobs("auto", n_tasks=10) == 1
+        assert (
+            parallel.effective_jobs("auto", n_tasks=10, min_tasks=5)
+            == resolve_jobs(None)
+        )
+
+    def test_auto_goes_wide_at_or_above_min_tasks(self):
+        assert (
+            parallel.effective_jobs(
+                "auto", n_tasks=parallel.AUTO_MIN_TASKS
+            )
+            == resolve_jobs(None)
+        )
+
+    def test_auto_without_task_count_goes_wide(self):
+        assert parallel.effective_jobs("auto") == resolve_jobs(None)
+
+    def test_auto_goes_serial_on_one_core(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel.os, "sched_getaffinity", lambda pid: {0},
+            raising=False,
+        )
+        assert parallel.effective_jobs("auto", n_tasks=10_000_000) == 1
 
 
 class TestChunkEvenly:
@@ -140,8 +178,17 @@ class TestParallelSensitivity:
     def test_shared_eval_cache_reuses_designs_across_points(self):
         stats = SweepStats()
         capacity_sweep(self.BASE, factors=(1, 2, 4), stats=stats)
-        # Neighboring points share subarray/H-tree problems; the reuse
-        # must be visible in the sweep stats.
+        # Neighboring points share subarray problems; the reuse must be
+        # visible in the sweep stats.  (H-tree reuse is only observable
+        # on the scalar path: the vectorized kernels fold tree delay
+        # into closed-form arithmetic and touch the tree cache just for
+        # materialized winners -- see the scalar-path check below.)
+        assert stats.subarray_hits > 0
+
+    def test_shared_eval_cache_reuses_htrees_on_scalar_path(self):
+        stats = SweepStats()
+        with kernels.disabled():
+            capacity_sweep(self.BASE, factors=(1, 2, 4), stats=stats)
         assert stats.subarray_hits > 0
         assert stats.htree_hits > 0
 

@@ -8,6 +8,8 @@ parallel engine relies on.
 
 import time
 
+import pytest
+
 from repro.array.organization import EvalCache
 from repro.core.optimizer import SweepStats
 
@@ -131,7 +133,35 @@ class TestAbsorbWorker:
         assert parent.feasible == 30
         assert parent.solve_cache_hits == 1
         assert parent.solve_cache_misses == 2
-        assert parent.phase_times["build"] == 0.5
+        # Worker phase CPU is reported separately; it must never land
+        # in the parent's wall-clock phase timers (concurrent workers
+        # would sum to more CPU than elapsed wall time).
+        assert parent.worker_phase_times["build"] == 0.5
+        assert "build" not in parent.phase_times
+
+    def test_worker_phase_times_stay_off_parent_wall_clock(self):
+        """Regression: at jobs=N the parent's ``phase_times`` used to
+        accumulate every worker's per-phase CPU, reporting e.g. a
+        1.73 s build phase against 0.66 s of actual wall time."""
+        parent = SweepStats()
+        parent.add_phase_time("build", 0.66)  # parent-measured wall time
+        for _ in range(4):  # four concurrent workers' CPU payloads
+            parent.absorb_worker({"phase_times": {"build": 0.43}})
+        assert parent.phase_times["build"] == 0.66
+        assert parent.worker_phase_times["build"] == pytest.approx(1.72)
+        payload = parent.as_dict()
+        assert payload["phase_times"]["build"] == 0.66
+        assert payload["worker_phase_times"]["build"] == pytest.approx(1.72)
+
+    def test_nested_worker_phase_times_forward(self):
+        """A mid-level worker forwards absorbed sub-worker phase CPU
+        under ``worker_phase_times``; it stays worker-side upstream."""
+        mid = SweepStats()
+        mid.absorb_worker({"phase_times": {"build": 0.2}})
+        top = SweepStats()
+        top.absorb_worker(mid.as_dict())
+        assert top.worker_phase_times["build"] == 0.2
+        assert top.phase_times == {}
 
     def test_unknown_keys_ignored(self):
         stats = SweepStats()
