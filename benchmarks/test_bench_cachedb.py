@@ -1,0 +1,113 @@
+"""On-grid cachedb lookup latency vs solving live.
+
+Builds a small cachedb grid, then times the two ways of answering the
+same on-grid queries: ``CacheDB.query`` (dictionary hit on the
+precomputed artifact) and a fresh ``solve`` of the identical spec.  The
+per-query wall-clock pair, the speedup, and the asserted >= 100x floor
+land in ``BENCH_cachedb.json`` at the repo root.  Also asserts the
+serving contract: the served metrics equal the live solve's exactly.
+
+The live side deliberately gets no solve cache and a cold eval cache
+per query -- the comparison is "answer from the precomputed database"
+vs "compute the answer", which is precisely the serving-tier trade the
+database exists for.
+"""
+
+import json
+import os
+import time
+
+from repro.cachedb import CacheDB, GridSpec, build_cachedb
+from repro.cachedb.schema import DB_METRICS, grid_spec_for
+from repro.core.cacti import solve
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_cachedb.json"
+)
+
+#: Grid: every cell is also a timed query point.
+CAPS = (64 << 10, 256 << 10, 1 << 20)
+NODES = (32.0, 45.0)
+TECHS = ("sram", "lp-dram")
+
+#: Acceptance floor from the issue; real hardware lands orders of
+#: magnitude above it (a dict hit vs a full optimizer sweep).
+MIN_SPEEDUP = 100.0
+
+#: Repeats per query point when timing the lookup side, so the
+#: microsecond-scale hits aren't swamped by timer resolution.
+LOOKUP_REPEATS = 200
+
+
+def test_bench_cachedb_lookup_vs_live_solve(tmp_path):
+    grid = GridSpec(
+        capacities_bytes=CAPS, nodes_nm=NODES, technologies=TECHS
+    )
+    path = tmp_path / "bench-db.json"
+    report = build_cachedb(path, grid, jobs="auto")
+    assert report.holes == 0
+    db = CacheDB(path)
+    points = [
+        (tech, node, cap)
+        for tech in TECHS
+        for node in NODES
+        for cap in CAPS
+    ]
+
+    t0 = time.perf_counter()
+    for _ in range(LOOKUP_REPEATS):
+        for tech, node, cap in points:
+            db.query(cap, cell_tech=tech, node_nm=node, fallback="error")
+    wall_lookup = (time.perf_counter() - t0) / LOOKUP_REPEATS
+
+    t0 = time.perf_counter()
+    live = {
+        (tech, node, cap): solve(grid_spec_for(tech, node, cap, 64, 8))
+        for tech, node, cap in points
+    }
+    wall_solve = time.perf_counter() - t0
+
+    # Serving contract: the database answers with the solver's numbers.
+    for (tech, node, cap), solution in live.items():
+        served = db.query(cap, cell_tech=tech, node_nm=node)
+        assert not served.interpolated
+        assert served.metrics == {
+            name: extract(solution)
+            for name, extract in DB_METRICS.items()
+        }
+
+    speedup = wall_solve / wall_lookup
+    payload = {
+        "description": (
+            "wall-clock time to answer every on-grid query point: "
+            "CacheDB.query exact hits on the precomputed artifact vs "
+            "solving each spec live"
+        ),
+        "grid": grid.as_dict(),
+        "query_points": len(points),
+        "wall_time_s": {
+            "cachedb_lookup": wall_lookup,
+            "live_solve": wall_solve,
+        },
+        "per_query_us": {
+            "cachedb_lookup": wall_lookup / len(points) * 1e6,
+            "live_solve": wall_solve / len(points) * 1e6,
+        },
+        "speedup": speedup,
+        "min_speedup_asserted": MIN_SPEEDUP,
+        "bit_identical_metrics": True,
+    }
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(
+        f"\nlookup: {wall_lookup / len(points) * 1e6:8.2f} us/query   "
+        f"solve: {wall_solve / len(points) * 1e6:8.2f} us/query   "
+        f"speedup: {speedup:.0f}x"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"cachedb lookups only {speedup:.1f}x over live solves "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

@@ -1,0 +1,45 @@
+"""Precomputed design-space database with interpolated lookup.
+
+The cachedb is the serving tier over the solver: ``build_cachedb``
+precomputes the optimizer's winning design point for every cell of a
+(technology x node x capacity x block x associativity) grid using the
+existing parallel/resilient sweep engine, and :class:`CacheDB` answers
+queries from the resulting versioned artifact -- on-grid queries by
+exact hit in ~microseconds (bit-identical to a live solve), off-grid
+queries by log-linear interpolation between neighboring grid points,
+with ``fallback="solve"|"error"|"nearest"`` for everything the grid
+cannot answer.  See ``docs/MODELING.md`` section 16.
+"""
+
+from repro.cachedb.builder import BuildReport, build_cachedb
+from repro.cachedb.reader import (
+    FALLBACKS,
+    CacheDB,
+    CacheDBError,
+    CacheDBMiss,
+    CacheDBResult,
+    open_cachedb,
+)
+from repro.cachedb.schema import (
+    DB_FORMAT_VERSION,
+    DB_METRICS,
+    GridSpec,
+    grid_key,
+    grid_spec_for,
+)
+
+__all__ = [
+    "BuildReport",
+    "CacheDB",
+    "CacheDBError",
+    "CacheDBMiss",
+    "CacheDBResult",
+    "DB_FORMAT_VERSION",
+    "DB_METRICS",
+    "FALLBACKS",
+    "GridSpec",
+    "build_cachedb",
+    "grid_key",
+    "grid_spec_for",
+    "open_cachedb",
+]

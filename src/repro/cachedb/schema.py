@@ -1,0 +1,242 @@
+"""Artifact schema for the precomputed design-space database.
+
+A cachedb is one versioned JSON artifact holding the optimizer's
+winning design point for every cell of a (technology x node x capacity
+x block x associativity) grid.  This module owns the schema: the
+format version, the :class:`GridSpec` axes, the canonical per-point
+keys, and the record encode/decode helpers (which reuse the
+solve-cache's bit-exact :func:`~repro.core.solvecache.metrics_to_dict`
+round trip, so an on-grid lookup reconstructs the *identical*
+:class:`~repro.core.results.Solution` a live solve would return).
+
+Two versions are stamped into every artifact:
+
+* ``format`` -- the layout of the artifact itself
+  (:data:`DB_FORMAT_VERSION`); a reader refuses other formats.
+* ``model_version`` -- the solver's
+  :data:`~repro.core.solvecache.CACHE_VERSION` at build time; a reader
+  refuses to *serve* from an artifact built by a different model (the
+  numbers would silently be stale), though ``cachedb info`` may still
+  inspect one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.core.config import AccessMode, MemorySpec, OptimizationTarget
+from repro.core.results import Solution
+from repro.core.solvecache import (
+    _normalize_numbers,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.tech.cells import CellTech
+from repro.tech.devices import NODES_NM
+from repro.tech.registry import registered_names
+
+#: Artifact layout version.  Bump on any change to the JSON structure.
+DB_FORMAT_VERSION = "repro-cachedb-v1"
+
+#: Headline metrics stored per grid point (SI units), extracted from
+#: the composed :class:`~repro.core.results.Solution` at build time so
+#: lookups and interpolation never pay the composition cost.
+DB_METRICS = {
+    "access_time_s": lambda s: s.access_time,
+    "random_cycle_s": lambda s: s.random_cycle_time,
+    "interleave_cycle_s": lambda s: s.interleave_cycle_time,
+    "e_read_j": lambda s: s.e_read,
+    "e_write_j": lambda s: s.e_write,
+    "p_leakage_w": lambda s: s.p_leakage,
+    "p_refresh_w": lambda s: s.p_refresh,
+    "area_m2": lambda s: s.area,
+    "area_efficiency": lambda s: s.area_efficiency,
+}
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The axes of one precompute grid.
+
+    ``associativities`` may include ``0``, meaning a plain RAM (no tag
+    array), mirroring the CLI's ``--assoc 0`` convention.  An empty
+    ``technologies`` tuple means "every registered technology at build
+    time".  Axes are deduplicated and sorted so the artifact's bracket
+    search can bisect them.
+    """
+
+    capacities_bytes: tuple[int, ...]
+    associativities: tuple[int, ...] = (8,)
+    block_bytes: tuple[int, ...] = (64,)
+    nodes_nm: tuple[float, ...] = (32.0,)
+    technologies: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        def canon(values, kind, allow_zero=False):
+            cleaned = tuple(sorted(set(values)))
+            if not cleaned:
+                raise ValueError(f"grid needs at least one {kind}")
+            floor = 0 if allow_zero else 1
+            if any(v < floor for v in cleaned):
+                raise ValueError(f"negative {kind} in grid: {cleaned}")
+            return cleaned
+
+        object.__setattr__(
+            self,
+            "capacities_bytes",
+            canon(self.capacities_bytes, "capacity"),
+        )
+        object.__setattr__(
+            self,
+            "associativities",
+            canon(self.associativities, "associativity", allow_zero=True),
+        )
+        object.__setattr__(
+            self, "block_bytes", canon(self.block_bytes, "block size")
+        )
+        object.__setattr__(
+            self,
+            "nodes_nm",
+            tuple(sorted({float(n) for n in self.nodes_nm})),
+        )
+        lo, hi = min(NODES_NM), max(NODES_NM)
+        bad = [n for n in self.nodes_nm if not lo <= n <= hi]
+        if bad:
+            raise ValueError(
+                f"grid nodes {bad} outside modeled ITRS range {lo}-{hi} nm"
+            )
+        # Resolve technology names now: an unknown name should fail the
+        # build before any solving starts, with the registered list.
+        object.__setattr__(
+            self,
+            "technologies",
+            tuple(CellTech(t).value for t in self.technologies)
+            or registered_names(),
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self.capacities_bytes)
+            * len(self.associativities)
+            * len(self.block_bytes)
+            * len(self.nodes_nm)
+            * len(self.technologies)
+        )
+
+    def points(self):
+        """Yield ``(key, coords)`` for every grid cell, in key order."""
+        for tech in self.technologies:
+            for node in self.nodes_nm:
+                for cap in self.capacities_bytes:
+                    for block in self.block_bytes:
+                        for assoc in self.associativities:
+                            coords = (tech, node, cap, block, assoc)
+                            yield grid_key(*coords), coords
+
+    def as_dict(self) -> dict:
+        return {
+            "capacities_bytes": list(self.capacities_bytes),
+            "associativities": list(self.associativities),
+            "block_bytes": list(self.block_bytes),
+            "nodes_nm": list(self.nodes_nm),
+            "technologies": list(self.technologies),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GridSpec":
+        return cls(
+            capacities_bytes=tuple(d["capacities_bytes"]),
+            associativities=tuple(d["associativities"]),
+            block_bytes=tuple(d["block_bytes"]),
+            nodes_nm=tuple(d["nodes_nm"]),
+            technologies=tuple(d["technologies"]),
+        )
+
+
+def grid_key(
+    tech: str, node_nm: float, capacity: int, block: int, assoc: int
+) -> str:
+    """Canonical point key: one string per grid cell.
+
+    Nodes format through ``%g`` so ``32`` and ``32.0`` key identically
+    (the same normalization :func:`~repro.core.solvecache.solve_key`
+    applies to its hash payload).
+    """
+    return f"{tech}/n{float(node_nm):g}/c{capacity}/b{block}/a{assoc}"
+
+
+def grid_spec_for(
+    tech: str, node_nm: float, capacity: int, block: int, assoc: int
+) -> MemorySpec:
+    """The :class:`MemorySpec` a grid cell solves.
+
+    Grid points use the spec defaults everywhere off the grid axes
+    (one bank, normal access mode, no ECC, no sleep transistors, the
+    technology's default periphery), so a cachedb answer corresponds to
+    a plain ``solve`` of the same coordinates.  Raises ``ValueError``
+    for geometrically impossible cells (capacity not dividing into
+    whole sets), which the builder records as holes.
+    """
+    return MemorySpec(
+        capacity_bytes=capacity,
+        block_bytes=block,
+        associativity=assoc or None,
+        node_nm=float(node_nm),
+        cell_tech=CellTech(tech),
+    )
+
+
+def memory_spec_to_dict(spec: MemorySpec) -> dict:
+    d = asdict(spec)
+    d["cell_tech"] = spec.cell_tech.value
+    d["tag_cell_tech"] = (
+        spec.tag_cell_tech.value if spec.tag_cell_tech is not None else None
+    )
+    d["access_mode"] = spec.access_mode.value
+    return d
+
+
+def memory_spec_from_dict(d: dict) -> MemorySpec:
+    d = dict(d)
+    d["access_mode"] = AccessMode(d["access_mode"])
+    return MemorySpec(**d)
+
+
+def normalized_target(target: OptimizationTarget | None) -> dict:
+    """The comparison form of an optimization target (numeric-normalized
+    field dict), as stored in the artifact."""
+    return _normalize_numbers(asdict(target or OptimizationTarget()))
+
+
+def solution_to_record(solution: Solution) -> dict:
+    """One grid point's stored record.
+
+    ``data``/``tag`` round-trip bit-exactly through JSON (shortest-repr
+    floats), so :func:`solution_from_record` rebuilds the identical
+    Solution; ``metrics`` pre-computes the headline composed numbers so
+    a metrics-only lookup never re-runs the composition.
+    """
+    return {
+        "spec": memory_spec_to_dict(solution.spec),
+        "data": metrics_to_dict(solution.data),
+        "tag": (
+            metrics_to_dict(solution.tag)
+            if solution.tag is not None
+            else None
+        ),
+        "metrics": {
+            name: extract(solution) for name, extract in DB_METRICS.items()
+        },
+    }
+
+
+def solution_from_record(record: dict) -> Solution:
+    return Solution(
+        spec=memory_spec_from_dict(record["spec"]),
+        data=metrics_from_dict(record["data"]),
+        tag=(
+            metrics_from_dict(record["tag"])
+            if record["tag"] is not None
+            else None
+        ),
+    )

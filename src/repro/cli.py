@@ -9,6 +9,10 @@ Usage::
     python -m repro study --configs nol3,sram --on-error retry
     python -m repro sweep --capacity 2M --parameter capacity_bytes \
         --values 1M,2M,4M,8M
+    python -m repro cachedb build db.json --capacities 64K,256K,1M \
+        --nodes 32,45 --resume build.journal
+    python -m repro cachedb query db.json --capacity 96K --node 38
+    python -m repro cachedb info db.json
 
 Sizes accept K/M/G suffixes (powers of two).  Long runs take
 ``--on-error {raise,skip,retry}``, ``--retries``, ``--task-timeout``,
@@ -122,6 +126,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--sleep-transistors", action="store_true")
     cache.add_argument("--optimize", default="balanced",
                        choices=sorted(_PRESETS))
+    cache.add_argument("--cachedb", metavar="PATH", default=None,
+                       help="precomputed design-space database; an exact "
+                            "grid hit is served from it instead of solving")
 
     mm = sub.add_parser("main-memory", help="solve a main-memory DRAM chip")
     mm.add_argument("--capacity", required=True, type=_size_arg,
@@ -157,6 +164,9 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--instructions", type=int, default=None,
                        metavar="N", help="instructions per thread")
     study.add_argument("--seed", type=int, default=1234)
+    study.add_argument("--cachedb", metavar="PATH", default=None,
+                       help="precomputed design-space database serving the "
+                            "--source cacti solves")
 
     sweep = sub.add_parser(
         "sweep", help="sensitivity sweep of one spec parameter"
@@ -177,9 +187,59 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--optimize", default="balanced",
                        choices=sorted(_PRESETS))
 
+    cachedb = sub.add_parser(
+        "cachedb",
+        help="precomputed design-space database: build, query, inspect",
+    )
+    cdb_sub = cachedb.add_subparsers(dest="cachedb_command", required=True)
+
+    cdb_build = cdb_sub.add_parser(
+        "build", help="precompute a design-space grid into an artifact"
+    )
+    cdb_build.add_argument("path", help="artifact file to write (JSON)")
+    cdb_build.add_argument("--capacities", required=True,
+                           metavar="C1,C2,...",
+                           help="comma-separated capacities (K/M/G sizes)")
+    cdb_build.add_argument("--assocs", default="8", metavar="A1,A2,...",
+                           help="associativities; 0 for a plain RAM")
+    cdb_build.add_argument("--blocks", default="64", metavar="B1,B2,...",
+                           help="block sizes in bytes")
+    cdb_build.add_argument("--nodes", default="32", metavar="N1,N2,...",
+                           help="feature sizes in nm (32-90)")
+    cdb_build.add_argument("--techs", default=None, metavar="T1,T2,...",
+                           help="technology registry names "
+                                "(default: every registered technology)")
+    cdb_build.add_argument("--optimize", default="balanced",
+                           choices=sorted(_PRESETS))
+    # Dense grids always contain infeasible corners; record them as
+    # holes and keep building rather than failing the whole artifact.
+    cdb_build.set_defaults(on_error="skip")
+
+    cdb_query = cdb_sub.add_parser(
+        "query", help="answer one design query from an artifact"
+    )
+    cdb_query.add_argument("path", help="artifact file (from cachedb build)")
+    cdb_query.add_argument("--capacity", required=True, type=_size_arg)
+    cdb_query.add_argument("--assoc", type=int, default=8,
+                           help="associativity; 0 for a plain RAM")
+    cdb_query.add_argument("--block", type=_size_arg, default=64)
+    cdb_query.add_argument("--node", type=float, default=32.0)
+    cdb_query.add_argument("--tech", default="sram",
+                           choices=sorted(registered_names()))
+    cdb_query.add_argument("--fallback", default="solve",
+                           choices=("solve", "error", "nearest"),
+                           help="what to do when the grid cannot answer: "
+                                "solve live, fail, or snap to the nearest "
+                                "grid point")
+
+    cdb_info = cdb_sub.add_parser(
+        "info", help="summarize an artifact (works across model versions)"
+    )
+    cdb_info.add_argument("path", help="artifact file to inspect")
+
     # Every subcommand ultimately runs the same solver, so every
     # subcommand gets the same solver knobs and observability outputs.
-    for solver in (cache, mm, validate, table3, study, sweep):
+    for solver in (cache, mm, validate, table3, study, sweep, cdb_build):
         solver.add_argument(
             "--cache", metavar="PATH", default=None, dest="cache_path",
             help="persistent solve-cache file (JSON); repeated identical "
@@ -209,7 +269,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
     # Fault-tolerance knobs (the validate command solves a fixed small
     # set serially, so it keeps the plain fail-fast path).
-    for solver in (cache, mm, table3, study, sweep):
+    for solver in (cache, mm, table3, study, sweep, cdb_build):
         solver.add_argument(
             "--on-error", default="raise", choices=ON_ERROR_POLICIES,
             dest="on_error",
@@ -293,6 +353,11 @@ def _run_cache(args: argparse.Namespace) -> int:
         ),
     )
     solve_cache, stats, obs, resilience = _solver_knobs(args)
+    cachedb = None
+    if args.cachedb is not None:
+        from repro.cachedb import CacheDB
+
+        cachedb = CacheDB(args.cachedb, obs=obs)
     solution = solve(
         spec,
         _PRESETS[args.optimize],
@@ -301,6 +366,7 @@ def _run_cache(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         obs=obs,
         resilience=resilience,
+        cachedb=cachedb,
     )
     print(solution.summary())
     _print_stats(stats)
@@ -424,6 +490,7 @@ def _run_study(args: argparse.Namespace) -> int:
         obs=obs,
         resilience=resilience,
         stats=stats,
+        cachedb=args.cachedb,
     )
     header = "app".ljust(10) + "".join(c.rjust(12) for c in configs)
     print(header)
@@ -513,6 +580,67 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_list(text: str) -> list[str]:
+    return [v.strip() for v in text.split(",") if v.strip()]
+
+
+def _run_cachedb(args: argparse.Namespace) -> int:
+    from repro.cachedb import CacheDB, GridSpec, build_cachedb
+
+    if args.cachedb_command == "build":
+        grid = GridSpec(
+            capacities_bytes=tuple(
+                parse_size(v) for v in _split_list(args.capacities)
+            ),
+            associativities=tuple(
+                int(v) for v in _split_list(args.assocs)
+            ),
+            block_bytes=tuple(
+                parse_size(v) for v in _split_list(args.blocks)
+            ),
+            nodes_nm=tuple(float(v) for v in _split_list(args.nodes)),
+            technologies=(
+                tuple(_split_list(args.techs))
+                if args.techs is not None
+                else ()
+            ),
+        )
+        solve_cache, stats, obs, resilience = _solver_knobs(args)
+        report = build_cachedb(
+            args.path,
+            grid,
+            target=_PRESETS[args.optimize],
+            jobs=args.jobs,
+            resilience=resilience,
+            solve_cache=solve_cache,
+            stats=stats,
+            obs=obs,
+        )
+        print(report.summary())
+        _print_stats(stats)
+        _write_obs(args, obs)
+        return 0
+
+    if args.cachedb_command == "query":
+        db = CacheDB(args.path)
+        result = db.query(
+            args.capacity,
+            associativity=args.assoc,
+            block_bytes=args.block,
+            node_nm=args.node,
+            cell_tech=args.tech,
+            fallback=args.fallback,
+        )
+        print(result.summary())
+        return 0
+
+    # info: inspectable even across model versions.
+    db = CacheDB(args.path, check_model=False)
+    for key, value in db.info().items():
+        print(f"{key:<14}: {value}")
+    return 0
+
+
 _HANDLERS = {
     "cache": _run_cache,
     "main-memory": _run_main_memory,
@@ -520,6 +648,7 @@ _HANDLERS = {
     "table3": _run_table3,
     "study": _run_study,
     "sweep": _run_sweep,
+    "cachedb": _run_cachedb,
 }
 
 

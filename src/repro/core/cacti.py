@@ -105,6 +105,7 @@ def solve(
     jobs: int | str = 1,
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
+    cachedb=None,
 ) -> Solution:
     """Solve ``spec``, returning the optimizer's best design point.
 
@@ -116,9 +117,16 @@ def solve(
     parallelizes candidate construction inside each array sweep;
     ``obs`` records a ``solve`` span with nested data/tag array sweeps;
     ``resilience`` governs worker-chunk failures inside parallel
-    sweeps.  None of them changes the returned numbers.
+    sweeps.  ``cachedb`` (a :class:`~repro.cachedb.CacheDB`) is
+    consulted first: an exact precomputed hit -- bit-identical to
+    solving live -- returns in microseconds, anything else falls
+    through to the solver.  None of them changes the returned numbers.
     """
     target = target or OptimizationTarget()
+    if cachedb is not None:
+        precomputed = cachedb.lookup_exact(spec, target, obs=obs)
+        if precomputed is not None:
+            return precomputed
     tech = technology(spec.node_nm)
     if eval_cache is None:
         eval_cache = EvalCache()
@@ -514,6 +522,11 @@ class CactiD:
     accumulates sweep observability counters over the facade's
     lifetime; pass ``obs`` (an :class:`~repro.obs.Obs`) to also record
     tracing spans and metrics across every solve issued through it.
+
+    ``cachedb`` -- a :class:`~repro.cachedb.CacheDB` or an artifact
+    path -- puts a precomputed design-space database in front of the
+    solver: every solve issued through the facade checks it for an
+    exact (bit-identical) hit first.
     """
 
     def __init__(
@@ -522,6 +535,7 @@ class CactiD:
         cache_path=None,
         obs: Obs | None = None,
         resilience: ResiliencePolicy | None = None,
+        cachedb=None,
     ):
         self.node_nm = node_nm
         self.eval_cache = EvalCache()
@@ -531,6 +545,12 @@ class CactiD:
         self.stats = SweepStats()
         self.obs = obs
         self.resilience = resilience
+        if cachedb is not None and not hasattr(cachedb, "lookup_exact"):
+            # A path: open it through the per-process reader memo.
+            from repro.cachedb import open_cachedb
+
+            cachedb = open_cachedb(cachedb)
+        self.cachedb = cachedb
 
     @cached_property
     def technology(self) -> Technology:
@@ -552,6 +572,7 @@ class CactiD:
             jobs=jobs,
             obs=self.obs,
             resilience=self.resilience,
+            cachedb=self.cachedb,
         )
 
     def solve_batch(

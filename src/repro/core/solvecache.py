@@ -12,9 +12,13 @@ Round-trips are bit-identical: Python's ``json`` emits the shortest
 value, and the regression tests assert field-for-field equality.
 
 The file is version-stamped.  ``CACHE_VERSION`` must be bumped whenever
-the model changes numbers (any change to the circuit or array models);
-a version mismatch silently discards the old records rather than serving
-stale results.
+the model changes numbers (any change to the circuit or array models).
+A *known-older* version loads as empty and the next flush rewrites the
+file at the current version (the migration path).  An *unrecognized*
+version -- most likely a file written by a newer build -- is never
+served from and never clobbered: the cache warns once and redirects its
+own writes to a version-suffixed sibling path, leaving the foreign file
+intact.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import asdict, fields
 from pathlib import Path
 
@@ -37,6 +42,13 @@ from repro.tech.cells import CellTech
 #: *ignored*, never corrupted: a version mismatch loads as an empty
 #: record set and the next flush rewrites the file at v3.
 CACHE_VERSION = "repro-solve-cache-v3"
+
+#: Versions this build recognizes as its own ancestors.  Files stamped
+#: with one of these are safe to ignore-and-rewrite (their key scheme
+#: or numbers are superseded).  Anything else that still parses as a
+#: cache file is treated as foreign -- likely a newer build's -- and is
+#: preserved, never overwritten.
+_OLDER_VERSIONS = ("repro-solve-cache-v1", "repro-solve-cache-v2")
 
 #: ArrayMetrics scalar fields (everything except the nested spec/org).
 _METRIC_FIELDS = tuple(
@@ -135,8 +147,13 @@ class SolveCache:
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
+        #: Where flushes land.  Normally ``path``; redirected to a
+        #: version-suffixed sibling when ``path`` holds a foreign
+        #: (unrecognized-version) cache that must not be clobbered.
+        self._write_path = self.path
         self.hits = 0
         self.misses = 0
+        self._corrupt_keys: set[str] = set()
         self._dirty = False
         self._defer_depth = 0
         self._records: dict[str, dict] = self._load()
@@ -144,29 +161,88 @@ class SolveCache:
     def __len__(self) -> int:
         return len(self._records)
 
+    @property
+    def corrupt_records(self) -> int:
+        """Distinct corrupt/truncated records dropped so far."""
+        return len(self._corrupt_keys)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_records": self.corrupt_records,
+            "records": len(self._records),
+        }
+
     def _load(self) -> dict[str, dict]:
         try:
-            payload = json.loads(self.path.read_text())
+            payload = json.loads(self._write_path.read_text())
         except (OSError, ValueError):
             return {}
         if not isinstance(payload, dict):
             return {}
-        if payload.get("version") != CACHE_VERSION:
+        version = payload.get("version")
+        if version != CACHE_VERSION:
+            if (
+                self._write_path == self.path
+                and version not in _OLDER_VERSIONS
+            ):
+                # Unrecognized version -- most likely a newer build's
+                # file.  Serving from it would be wrong and rewriting
+                # it would destroy it, so redirect our writes to a
+                # sibling and re-load from there (another process of
+                # this version may already have written it).
+                self._write_path = self.path.with_name(
+                    f"{self.path.name}.{CACHE_VERSION}"
+                )
+                warnings.warn(
+                    f"solve cache {self.path} has unrecognized version "
+                    f"{version!r} (this build is {CACHE_VERSION!r}); "
+                    f"preserving it and using {self._write_path} instead",
+                    stacklevel=2,
+                )
+                return self._load()
             return {}
         records = payload.get("records")
-        return records if isinstance(records, dict) else {}
+        if not isinstance(records, dict):
+            return {}
+        return self._screen(records)
+
+    def _screen(self, records: dict) -> dict[str, dict]:
+        """Drop structurally corrupt records (and known-corrupt keys)
+        so they are neither served, re-parsed, nor re-persisted."""
+        kept: dict[str, dict] = {}
+        for key, record in records.items():
+            if key in self._corrupt_keys:
+                continue
+            if not (
+                isinstance(record, dict)
+                and "spec" in record
+                and "org" in record
+            ):
+                self._corrupt_keys.add(key)
+                self._dirty = True
+                continue
+            kept[key] = record
+        return kept
 
     def get(
         self, spec: ArraySpec, target: OptimizationTarget, node_nm: float
     ) -> ArrayMetrics | None:
-        record = self._records.get(solve_key(spec, target, node_nm))
+        key = solve_key(spec, target, node_nm)
+        record = self._records.get(key)
         if record is None:
             self.misses += 1
             return None
         try:
             metrics = metrics_from_dict(record)
         except (KeyError, TypeError, ValueError):
-            # A hand-edited or truncated record: treat as a miss.
+            # A hand-edited or truncated record: a miss, and dropped so
+            # it is never re-parsed or re-persisted.  Marking the cache
+            # dirty lets the next flush purge it from disk too.
+            del self._records[key]
+            self._corrupt_keys.add(key)
+            self._dirty = True
             self.misses += 1
             return None
         self.hits += 1
@@ -217,13 +293,15 @@ class SolveCache:
         # taking the union of its records and ours.
         self.refresh()
         payload = {"version": CACHE_VERSION, "records": self._records}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_path.parent.mkdir(parents=True, exist_ok=True)
         # The temp name carries the pid so two processes sharing one
         # cache path never write the same temp file; os.replace is
         # atomic on POSIX and Windows.
-        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        tmp = self._write_path.with_name(
+            f"{self._write_path.name}.{os.getpid()}.tmp"
+        )
         try:
             tmp.write_text(json.dumps(payload, sort_keys=True))
-            os.replace(tmp, self.path)
+            os.replace(tmp, self._write_path)
         finally:
             tmp.unlink(missing_ok=True)

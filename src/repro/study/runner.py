@@ -7,6 +7,7 @@ memory-hierarchy power breakdowns, and normalized system energy-delay.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import partial
 
@@ -108,14 +109,20 @@ def run_one(
     seed: int = 1234,
     config=None,
     energy_model=None,
+    cachedb=None,
 ) -> RunResult:
     """Simulate one application on one configuration.
 
     ``config`` and ``energy_model`` accept pre-built objects so a study
     matrix builds each configuration once, not once per application.
+    ``cachedb`` (a :class:`~repro.cachedb.CacheDB`) serves the
+    ``source="cacti"`` solves from the precomputed database when they
+    are on its grid.
     """
     if config is None:
-        config = build_system_config(config_name, source=source, scale=scale)
+        config = build_system_config(
+            config_name, source=source, scale=scale, cachedb=cachedb
+        )
     scaled_profile = profile.scaled(scale)
     stats = run_workload(
         config,
@@ -128,7 +135,9 @@ def run_one(
     )
     duration = stats.cycles / CPU_HZ
     if energy_model is None:
-        energy_model = build_energy_model(config_name, source=source)
+        energy_model = build_energy_model(
+            config_name, source=source, cachedb=cachedb
+        )
     breakdown = hierarchy_power(energy_model, stats, duration)
     system = SystemPower(
         core=scaled_core_power(),
@@ -155,18 +164,29 @@ def _run_one_task(payload: tuple) -> RunResult:
     """Worker task: one (application, configuration) cell of the matrix.
 
     Simulation is fully seeded, so the result is identical no matter
-    which process runs the cell.
+    which process runs the cell.  ``cachedb_path`` travels as a path
+    (readers are not picklable) and is opened once per process through
+    the reader memo.
     """
-    profile, config_name, source, scale, seed = payload
-    config_key = (config_name, source, scale)
+    profile, config_name, source, scale, seed, cachedb_path = payload
+    cachedb = None
+    if cachedb_path is not None:
+        from repro.cachedb import open_cachedb
+
+        cachedb = open_cachedb(cachedb_path)
+    config_key = (config_name, source, scale, cachedb_path)
     config = _TASK_CONFIGS.get(config_key)
     if config is None:
-        config = build_system_config(config_name, source=source, scale=scale)
+        config = build_system_config(
+            config_name, source=source, scale=scale, cachedb=cachedb
+        )
         _TASK_CONFIGS[config_key] = config
-    energy_key = (config_name, source)
+    energy_key = (config_name, source, cachedb_path)
     energy_model = _TASK_ENERGY_MODELS.get(energy_key)
     if energy_model is None:
-        energy_model = build_energy_model(config_name, source=source)
+        energy_model = build_energy_model(
+            config_name, source=source, cachedb=cachedb
+        )
         _TASK_ENERGY_MODELS[energy_key] = energy_model
     return run_one(
         profile,
@@ -190,6 +210,7 @@ def run_study(
     obs: Obs | None = None,
     resilience: ResiliencePolicy | None = None,
     stats=None,
+    cachedb=None,
 ) -> StudyResult:
     """Run the full study matrix.
 
@@ -208,6 +229,8 @@ def run_study(
     land in ``StudyResult.failed`` instead of aborting the run.
     ``stats`` (a :class:`~repro.core.optimizer.SweepStats`) accumulates
     the resilience counters (retries, timeouts, failures, rebuilds).
+    ``cachedb`` (an artifact path) serves each worker's
+    ``source="cacti"`` solves from the precomputed database.
 
     Duplicate profile names or repeated configuration names would
     silently overwrite each other's matrix cells, so both raise.
@@ -223,8 +246,9 @@ def run_study(
     if len(set(configs)) != len(configs):
         dupes = sorted({c for c in configs if tuple(configs).count(c) > 1})
         raise ValueError(f"duplicate configurations in study: {dupes}")
+    cachedb_path = os.fspath(cachedb) if cachedb is not None else None
     payloads = [
-        (profile, config_name, source, scale, seed)
+        (profile, config_name, source, scale, seed, cachedb_path)
         for profile in profiles
         for config_name in configs
     ]
@@ -233,6 +257,9 @@ def run_study(
     jobs = parallel.effective_jobs(jobs, len(payloads), min_tasks=2)
     keys = None
     if resilience is not None and resilience.journal is not None:
+        # The cachedb serves bit-identical results, so it is not part
+        # of a cell's identity: journals written without one resume
+        # runs that use one, and vice versa.
         keys = [
             task_key(
                 "study.cell",
@@ -244,7 +271,7 @@ def run_study(
                     "seed": seed,
                 },
             )
-            for profile, config_name, source, scale, seed in payloads
+            for profile, config_name, source, scale, seed, _ in payloads
         ]
     with maybe_span(
         obs,
@@ -268,7 +295,7 @@ def run_study(
         obs.inc("study.cells", len(payloads))
     results = {}
     failures = []
-    for (profile, config_name, _, _, _), outcome in zip(payloads, outcomes):
+    for (profile, config_name, *_), outcome in zip(payloads, outcomes):
         if isinstance(outcome, TaskFailure):
             failures.append(outcome)
             continue

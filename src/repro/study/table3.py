@@ -211,6 +211,9 @@ def solve_main_memory_chip(**knobs):
 
 def _main_memory_chip(**knobs):
     spec = MainMemorySpec(capacity_bits=8 * 2**30, page_bits=8192)
+    # The cachedb grid only covers cache/RAM specs, not the main-memory
+    # interface derivation, so that knob stops here.
+    knobs = {k: v for k, v in knobs.items() if k != "cachedb"}
     return solve_main_memory(spec, node_nm=NODE_NM, **knobs)
 
 
@@ -246,8 +249,10 @@ def solve_table3(**knobs) -> dict[str, Table3Row]:
     """All Table 3 columns from the live CACTI-D model.
 
     Keyword knobs (``solve_cache``, ``stats``, ``jobs``, ``obs``,
-    ``resilience``) pass through to every underlying solve; knob-free
-    calls are memoized.
+    ``resilience``, ``cachedb``) pass through to every underlying cache
+    solve (``cachedb`` stops before the main-memory chip, whose
+    interface derivation the grid does not cover); knob-free calls are
+    memoized.
 
     A ``resilience`` policy carrying a journal checkpoints the table at
     row granularity (stage ``"table3.row"``): each solved row is
@@ -334,15 +339,22 @@ def _memory_timing_cycles(source: str) -> MemoryTimingCycles:
 
 
 def build_system_config(
-    name: str, source: str = "paper", scale: int = 16
+    name: str, source: str = "paper", scale: int = 16, cachedb=None
 ) -> SystemConfig:
     """One simulator configuration, capacities scaled by ``scale``.
 
     ``source`` selects where latencies come from: ``"cacti"`` runs this
     reproduction's solver (the paper's own flow), ``"paper"`` uses the
-    published Table 3 numbers.
+    published Table 3 numbers.  ``cachedb`` (a
+    :class:`~repro.cachedb.CacheDB`) lets the cacti path serve exact
+    precomputed solves instead of solving live.
     """
-    rows = paper_table3() if source == "paper" else solve_table3()
+    if source == "paper":
+        rows = paper_table3()
+    elif cachedb is not None:
+        rows = solve_table3(cachedb=cachedb)
+    else:
+        rows = solve_table3()
     l1r, l2r = rows["L1"], rows["L2"]
     l1 = CacheConfig(
         capacity_bytes=max(l1r.capacity_bytes // scale, 1024),
@@ -399,10 +411,15 @@ def _crossbar_metrics():
                            device_type="hp-long-channel")
 
 
-def build_energy_model(name: str, source: str = "paper"
+def build_energy_model(name: str, source: str = "paper", cachedb=None
                        ) -> HierarchyEnergyModel:
     """The Figure 5(a) energy model for one configuration."""
-    rows = paper_table3() if source == "paper" else solve_table3()
+    if source == "paper":
+        rows = paper_table3()
+    elif cachedb is not None:
+        rows = solve_table3(cachedb=cachedb)
+    else:
+        rows = solve_table3()
     l1r, l2r = rows["L1"], rows["L2"]
 
     def level(row: Table3Row, instances: int) -> LevelEnergy:

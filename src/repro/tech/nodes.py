@@ -80,11 +80,21 @@ def _exact_node(node_nm: int) -> Technology:
     )
 
 
-@lru_cache(maxsize=None)
+#: Cap on memory-resident *interpolated* technologies.  The four exact
+#: ITRS nodes stay cached forever (there are only four), but a dense
+#: fractional-node sweep -- a ``cachedb build`` over hundreds of nodes
+#: -- would otherwise pin every full Technology object (devices, wires,
+#: cells) in memory for the life of the process.
+_INTERPOLATED_CACHE_SIZE = 128
+
+
 def technology(node_nm: float) -> Technology:
     """Return the :class:`Technology` at ``node_nm``, interpolating if needed.
 
-    Raises ValueError outside the modeled 32-90 nm range.
+    Raises ValueError outside the modeled 32-90 nm range.  Repeated
+    calls with the same node return the same object: exact ITRS nodes
+    are cached unboundedly, fractional nodes in a bounded LRU
+    (:data:`_INTERPOLATED_CACHE_SIZE` entries).
     """
     lo, hi = min(NODES_NM), max(NODES_NM)
     if not lo <= node_nm <= hi:
@@ -93,7 +103,11 @@ def technology(node_nm: float) -> Technology:
         )
     if float(node_nm).is_integer() and int(node_nm) in NODES_NM:
         return _exact_node(int(node_nm))
+    return _interpolated_node(float(node_nm))
 
+
+@lru_cache(maxsize=_INTERPOLATED_CACHE_SIZE)
+def _interpolated_node(node_nm: float) -> Technology:
     nodes = sorted(NODES_NM)
     below = max(n for n in nodes if n < node_nm)
     above = min(n for n in nodes if n > node_nm)

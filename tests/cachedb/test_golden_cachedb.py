@@ -1,0 +1,120 @@
+"""Golden equivalence for cachedb answers.
+
+Two contracts anchor the database to the live model:
+
+* an **on-grid** query is *bit-identical* to solving the same spec live
+  -- same records, same headline metrics, for every registered
+  technology (the database is a cache, not an approximation); and
+* an **interpolated** answer stays within the closed interval of its
+  bracketing grid points for every metric, on both continuous axes
+  (capacity and node) -- log-linear interpolation cannot overshoot its
+  endpoints.
+"""
+
+import json
+
+import pytest
+
+from repro.cachedb import CacheDB, GridSpec, build_cachedb, grid_spec_for
+from repro.cachedb.schema import DB_METRICS
+from repro.core.cacti import solve
+from repro.core.solvecache import metrics_to_dict
+from repro.tech.registry import registered_names
+
+#: Grid shared by every test in this module: both continuous axes have
+#: two points, so interior queries interpolate, and 1M/2M solve cleanly
+#: for every registered technology (comm-dram included).
+CAPS = (1 << 20, 2 << 20)
+NODES = (32.0, 45.0)
+
+
+def reencode(payload):
+    """One JSON round trip: equality after it is bit-identity."""
+    return json.loads(json.dumps(payload))
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    path = tmp_path_factory.mktemp("golden-cachedb") / "db.json"
+    grid = GridSpec(capacities_bytes=CAPS, nodes_nm=NODES)
+    report = build_cachedb(path, grid, jobs="auto")
+    assert report.holes == 0, "golden grid must solve completely"
+    return CacheDB(path)
+
+
+@pytest.mark.parametrize("tech", registered_names())
+def test_on_grid_query_bit_identical_to_live_solve(db, tech):
+    spec = grid_spec_for(tech, 32.0, CAPS[0], 64, 8)
+    live = solve(spec)
+    served = db.query(
+        CAPS[0], cell_tech=tech, node_nm=32.0, materialize=True
+    )
+    assert served.source == "exact" and not served.interpolated
+    assert reencode(metrics_to_dict(served.solution.data)) == reencode(
+        metrics_to_dict(live.data)
+    )
+    assert reencode(metrics_to_dict(served.solution.tag)) == reencode(
+        metrics_to_dict(live.tag)
+    )
+    assert served.metrics == {
+        name: extract(live) for name, extract in DB_METRICS.items()
+    }
+
+
+@pytest.mark.parametrize("tech", registered_names())
+def test_lookup_exact_bit_identical_to_live_solve(db, tech):
+    spec = grid_spec_for(tech, 32.0, CAPS[0], 64, 8)
+    served = db.lookup_exact(spec)
+    assert served is not None
+    live = solve(spec)
+    assert reencode(metrics_to_dict(served.data)) == reencode(
+        metrics_to_dict(live.data)
+    )
+
+
+def _assert_bounded(between, lo, hi):
+    """Every metric of ``between`` lies within its endpoints' interval."""
+    for name in DB_METRICS:
+        low, high = sorted((lo.metrics[name], hi.metrics[name]))
+        assert low <= between.metrics[name] <= high, (
+            f"{name}: {between.metrics[name]} outside "
+            f"[{low}, {high}]"
+        )
+
+
+@pytest.mark.parametrize("tech", registered_names())
+def test_capacity_interpolation_monotone_between_brackets(db, tech):
+    lo = db.query(CAPS[0], cell_tech=tech, node_nm=32.0)
+    hi = db.query(CAPS[1], cell_tech=tech, node_nm=32.0)
+    mid = db.query(
+        (3 * CAPS[0]) // 2, cell_tech=tech, node_nm=32.0, fallback="error"
+    )
+    assert mid.interpolated
+    _assert_bounded(mid, lo, hi)
+
+
+@pytest.mark.parametrize("tech", registered_names())
+def test_node_interpolation_monotone_between_brackets(db, tech):
+    lo = db.query(CAPS[0], cell_tech=tech, node_nm=NODES[0])
+    hi = db.query(CAPS[0], cell_tech=tech, node_nm=NODES[1])
+    mid = db.query(
+        CAPS[0], cell_tech=tech, node_nm=38.0, fallback="error"
+    )
+    assert mid.interpolated
+    _assert_bounded(mid, lo, hi)
+
+
+def test_bilinear_interpolation_bounded_by_all_corners(db):
+    corners = [
+        db.query(cap, cell_tech="sram", node_nm=node)
+        for cap in CAPS
+        for node in NODES
+    ]
+    mid = db.query(
+        (3 * CAPS[0]) // 2, cell_tech="sram", node_nm=38.0,
+        fallback="error",
+    )
+    assert mid.interpolated
+    for name in DB_METRICS:
+        values = [c.metrics[name] for c in corners]
+        assert min(values) <= mid.metrics[name] <= max(values)

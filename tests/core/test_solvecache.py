@@ -122,7 +122,7 @@ class TestSolveCache:
         path = tmp_path / "c.json"
         put_and_flush(path, SPEC, TARGET, 32.0, best)
         payload = json.loads(path.read_text())
-        payload["version"] = "some-older-version"
+        payload["version"] = "repro-solve-cache-v1"
         path.write_text(json.dumps(payload))
         assert len(SolveCache(path)) == 0
 
@@ -333,3 +333,115 @@ class TestBatchWriteCount:
         assert len(solutions) == 24
         assert len(replaced) == 1
         assert len(SolveCache(cache.path)) == 24
+
+
+class TestForeignVersionPreserved:
+    """A cache file written by an unrecognized (likely newer) build is
+    never clobbered: reads warn and load empty, writes go to a
+    version-suffixed sibling."""
+
+    def _foreign_file(self, path):
+        payload = json.dumps({
+            "version": "repro-solve-cache-v99",
+            "records": {"future-key": {"future-field": 1}},
+        })
+        path.write_text(payload)
+        return payload
+
+    def test_foreign_version_warns_and_loads_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        self._foreign_file(path)
+        with pytest.warns(UserWarning, match="unrecognized version"):
+            cache = SolveCache(path)
+        assert len(cache) == 0
+
+    def test_flush_writes_sibling_not_foreign_file(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        foreign = self._foreign_file(path)
+        with pytest.warns(UserWarning):
+            cache = SolveCache(path)
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        # The newer build's file is byte-identical; ours sits alongside.
+        assert path.read_text() == foreign
+        sibling = path.with_name(f"{path.name}.{CACHE_VERSION}")
+        assert json.loads(sibling.read_text())["version"] == CACHE_VERSION
+        with pytest.warns(UserWarning):
+            fresh = SolveCache(path)
+        assert fresh.get(SPEC, TARGET, 32.0) == best
+
+    def test_known_older_version_still_rewritten_in_place(
+        self, tmp_path, best, recwarn
+    ):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({
+            "version": "repro-solve-cache-v2",
+            "records": {"deadbeef": {"rows": 64}},
+        }))
+        cache = SolveCache(path)  # migration path: no warning
+        assert len(recwarn) == 0
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        assert json.loads(path.read_text())["version"] == CACHE_VERSION
+        assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+
+
+class TestCorruptRecordsDropped:
+    """Corrupt records are dropped on sight -- counted, never re-parsed,
+    never re-persisted."""
+
+    def _corrupt_one_record(self, path):
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["records"]))
+        del payload["records"][key]["rows"]
+        path.write_text(json.dumps(payload))
+        return key
+
+    def test_truncated_record_dropped_and_counted(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
+        self._corrupt_one_record(path)
+        cache = SolveCache(path)
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        assert cache.corrupt_records == 1
+        assert cache.stats()["corrupt_records"] == 1
+        # Dropped, not just missed: the record is gone from memory and
+        # a repeat lookup does not re-parse (the counter stays put).
+        assert len(cache) == 0
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        assert cache.corrupt_records == 1
+        assert cache.misses == 2
+
+    def test_flush_purges_corrupt_record_from_disk(self, tmp_path, best):
+        path = tmp_path / "c.json"
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
+        key = self._corrupt_one_record(path)
+        cache = SolveCache(path)
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        cache.flush()
+        assert key not in json.loads(path.read_text())["records"]
+
+    def test_structurally_corrupt_record_dropped_at_load(
+        self, tmp_path, best
+    ):
+        path = tmp_path / "c.json"
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
+        payload = json.loads(path.read_text())
+        payload["records"]["garbage"] = "not even a dict"
+        path.write_text(json.dumps(payload))
+        cache = SolveCache(path)
+        assert cache.corrupt_records == 1
+        # The good record is untouched.
+        assert cache.get(SPEC, TARGET, 32.0) == best
+
+    def test_refresh_does_not_resurrect_dropped_records(
+        self, tmp_path, best
+    ):
+        path = tmp_path / "c.json"
+        put_and_flush(path, SPEC, TARGET, 32.0, best)
+        self._corrupt_one_record(path)
+        cache = SolveCache(path)
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        cache.refresh()  # merge-on-load must honor the tombstones
+        assert len(cache) == 0
+        assert cache.get(SPEC, TARGET, 32.0) is None

@@ -54,3 +54,30 @@ class TestCellAndWireSelection:
     def test_cell_builder_uses_periph_vdd(self, tech32):
         c = tech32.cell(CellTech.SRAM, "hp-long-channel")
         assert c.vdd_cell == pytest.approx(tech32.device("hp-long-channel").vdd)
+
+
+class TestBoundedInterpolationCache:
+    """Dense fractional-node sweeps must not pin unbounded Technology
+    objects in memory (a cachedb build touches hundreds of nodes)."""
+
+    def test_memory_resident_entries_stay_capped_over_dense_sweep(self):
+        from repro.tech.nodes import (
+            _INTERPOLATED_CACHE_SIZE,
+            _interpolated_node,
+        )
+
+        _interpolated_node.cache_clear()
+        for i in range(1000):
+            technology(33.0 + (i % 997) * 56.0 / 997)
+        info = _interpolated_node.cache_info()
+        assert info.currsize <= _INTERPOLATED_CACHE_SIZE
+        assert info.maxsize == _INTERPOLATED_CACHE_SIZE
+
+    def test_exact_nodes_stay_unbounded_and_interned(self):
+        from repro.tech.nodes import _exact_node
+
+        assert _exact_node.cache_info().maxsize is None
+        assert technology(32) is technology(32.0)
+
+    def test_cached_fractional_node_is_interned(self):
+        assert technology(78.0) is technology(78.0)
