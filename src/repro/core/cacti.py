@@ -23,7 +23,6 @@ bit-identical at any job count -- parallelism only changes wall time.
 
 from __future__ import annotations
 
-import os
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -47,7 +46,7 @@ from repro.core import parallel
 from repro.core.optimizer import SweepStats, optimize
 from repro.core.resilience import ResiliencePolicy, TaskFailure, task_key
 from repro.core.results import Solution
-from repro.core.solvecache import SolveCache
+from repro.core.solvecache import SolveCache, account_store as _account_store
 from repro.obs import Obs, maybe_span
 from repro.tech.nodes import Technology, technology
 
@@ -167,6 +166,9 @@ def solve(
                         obs=obs,
                         resilience=resilience,
                     )
+        # The boundary flush just ran (unless an enclosing batch defers
+        # it further); drain its store events into the run's sinks.
+        _account_store(solve_cache, stats, obs)
     return Solution(spec=spec, data=data, tag=tag)
 
 
@@ -281,10 +283,12 @@ def solve_batch(
                     )
                     for spec, tgt in zip(specs, targets)
                 ]
+            # Drain the batch-boundary flush that the context exit
+            # above just performed.
+            _account_store(solve_cache, stats, obs)
         else:
             cache_path = (
-                os.fspath(solve_cache.path)
-                if solve_cache is not None else None
+                solve_cache.url if solve_cache is not None else None
             )
             results = parallel.parallel_map(
                 _solve_batch_task,
@@ -306,6 +310,9 @@ def solve_batch(
             if solve_cache is not None:
                 # Pick up the records the workers just wrote to disk.
                 solve_cache.refresh()
+                # Counter deltas arrived inside the worker stats; this
+                # refreshes the parent-side records/bytes gauges.
+                _account_store(solve_cache, stats, obs)
             if obs is not None and batch_span is not None:
                 elapsed = time.perf_counter() - t0
                 if elapsed > 0:
@@ -331,7 +338,7 @@ def _solve_batch_resilient(
     eval/solve caches exactly as a worker would.
     """
     cache_path = (
-        os.fspath(solve_cache.path) if solve_cache is not None else None
+        solve_cache.url if solve_cache is not None else None
     )
     keys = None
     if resilience.journal is not None:
@@ -371,6 +378,7 @@ def _solve_batch_resilient(
             obs.absorb_worker(worker_stats.get("obs"))
     if solve_cache is not None:
         solve_cache.refresh()
+        _account_store(solve_cache, stats, obs)
     if stats is not None:
         stats.add_phase_time("batch", time.perf_counter() - t0)
     if obs is not None:

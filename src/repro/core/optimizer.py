@@ -46,6 +46,7 @@ from repro.array.organization import (
 from repro.array import kernels
 from repro.core import parallel
 from repro.core.config import OptimizationTarget
+from repro.core.solvecache import account_store as _account_store
 from repro.obs import Obs, maybe_span
 from repro.obs import phase as obs_phase
 from repro.tech.nodes import Technology
@@ -74,6 +75,8 @@ class SweepStats:
     htree_misses: int = 0
     solve_cache_hits: int = 0  #: whole solves served from the disk cache
     solve_cache_misses: int = 0
+    store_evictions: int = 0  #: records LRU-evicted by a bounded store
+    store_flush_writes: int = 0  #: store saves actually written to disk
     retries: int = 0  #: task attempts re-run under a resilience policy
     pool_rebuilds: int = 0  #: worker pools torn down and rebuilt
     timeouts: int = 0  #: tasks cancelled for exceeding their wall clock
@@ -103,6 +106,8 @@ class SweepStats:
         "htree_misses",
         "solve_cache_hits",
         "solve_cache_misses",
+        "store_evictions",
+        "store_flush_writes",
         "retries",
         "pool_rebuilds",
         "timeouts",
@@ -136,6 +141,8 @@ class SweepStats:
             "htree_misses": self.htree_misses,
             "solve_cache_hits": self.solve_cache_hits,
             "solve_cache_misses": self.solve_cache_misses,
+            "store_evictions": self.store_evictions,
+            "store_flush_writes": self.store_flush_writes,
             "retries": self.retries,
             "pool_rebuilds": self.pool_rebuilds,
             "timeouts": self.timeouts,
@@ -169,6 +176,12 @@ class SweepStats:
             f"{self.solve_cache_misses} misses",
             f"wall time             : {self.wall_time_s * 1e3:.1f} ms",
         ]
+        if self.store_flush_writes or self.store_evictions:
+            lines.insert(
+                -1,
+                f"solve store           : {self.store_flush_writes} flush "
+                f"writes, {self.store_evictions} evictions",
+            )
         if self.retries or self.timeouts or self.tasks_failed \
                 or self.pool_rebuilds:
             lines.append(
@@ -706,6 +719,7 @@ def optimize(
                     obs.inc("solve_cache.hits")
                 if span is not None:
                     span.attrs["solve_cache"] = "hit"
+                _account_store(solve_cache, stats, obs)
                 return hit
             if stats is not None:
                 stats.solve_cache_misses += 1
@@ -725,6 +739,7 @@ def optimize(
             solve_cache.flush()
             if obs is not None:
                 obs.gauge("solve_cache.records", len(solve_cache))
+            _account_store(solve_cache, stats, obs)
         if stats is not None:
             stats.wall_time_s += time.perf_counter() - t0
         return best

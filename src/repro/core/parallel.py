@@ -165,20 +165,25 @@ def worker_eval_cache():
     return _WORKER_EVAL_CACHE
 
 
-def worker_solve_cache(path):
-    """The calling process's SolveCache for ``path`` (one per path).
+def worker_solve_cache(spec):
+    """The calling process's SolveCache for ``spec`` (one per store).
 
-    Worker tasks share one persistent cache instance per file path for
-    the life of the process, so the JSON records are parsed once per
-    worker instead of once per task.  Concurrent writers stay safe:
-    saves are atomic merge-on-load replaces (see
+    ``spec`` is a store URL or path as produced by
+    :attr:`~repro.core.solvecache.SolveCache.url` -- parents thread it
+    to workers so every process opens the same backend with the same
+    options.  Worker tasks share one persistent cache instance per
+    store spec for the life of the process, so the backing records are
+    loaded once per worker instead of once per task.  Concurrent
+    writers stay safe on every backend: the JSON backend's saves are
+    atomic merge-on-load replaces, and the sqlite backend serializes
+    row upserts on the database write lock (see
     :class:`~repro.core.solvecache.SolveCache`).
     """
-    if path is None:
+    if spec is None:
         return None
     from repro.core.solvecache import SolveCache
 
-    key = os.fspath(path)
+    key = os.fspath(spec)
     cache = _WORKER_SOLVE_CACHES.get(key)
     if cache is None:
         cache = _WORKER_SOLVE_CACHES[key] = SolveCache(key)

@@ -167,13 +167,18 @@ class Solution:
     def area_mm2(self) -> float:
         return self.area * 1e6
 
-    def run_report(self) -> dict:
+    def run_report(self, *, store_stats: dict | None = None) -> dict:
         """Machine-readable report of this design point.
 
         Plain JSON types only (ints, floats, strings, dicts), stable
         key names: benchmark harnesses serialize this and diff runs
         against the recorded ``BENCH_*.json`` baselines, and the CLI's
         ``--metrics`` consumers join it with the metrics snapshot.
+
+        ``store_stats`` -- a :meth:`~repro.core.solvecache.SolveCache.stats`
+        dict from the solve cache that backed this run -- is attached
+        verbatim under ``"store"`` when given, so a report can say not
+        just what was solved but how the persistent store behaved.
         """
         report = {
             "kind": "cache" if self.tag is not None else "ram",
@@ -215,6 +220,8 @@ class Solution:
                 "cell_tech": self.tag.spec.cell_tech.value,
                 "cell_traits": self.tag.spec.cell_tech.traits.as_dict(),
             }
+        if store_stats is not None:
+            report["store"] = dict(store_stats)
         return report
 
     def summary(self) -> str:

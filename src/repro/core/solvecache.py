@@ -1,24 +1,35 @@
-"""Persistent solve-record cache (JSON on disk).
+"""Persistent solve-record cache over a pluggable backend store.
 
 Design-space exploration workloads re-solve the same arrays over and
 over -- across processes, sweeps, and sessions.  In the spirit of the
-Accelergy CACTI wrapper's records file, :class:`SolveCache` keeps one
-JSON file mapping a stable hash of ``(ArraySpec, OptimizationTarget,
-node)`` to the winning :class:`~repro.array.organization.ArrayMetrics`,
-so a repeated query costs a dictionary lookup instead of a sweep.
+Accelergy CACTI wrapper's records file, :class:`SolveCache` maps a
+stable hash of ``(ArraySpec, OptimizationTarget, node)`` to the winning
+:class:`~repro.array.organization.ArrayMetrics`, so a repeated query
+costs a dictionary (or indexed-row) lookup instead of a sweep.
 
-Round-trips are bit-identical: Python's ``json`` emits the shortest
-``repr`` of each float, which parses back to the exact same IEEE-754
-value, and the regression tests assert field-for-field equality.
+Persistence is delegated to a :class:`~repro.store.KVStore` backend:
 
-The file is version-stamped.  ``CACHE_VERSION`` must be bumped whenever
+* a plain path (``"solves.json"``) keeps the original single-JSON-file
+  format, bit-compatible with every cache file written before the
+  store refactor;
+* a ``sqlite:`` URL (``"sqlite:solves.db?max_records=10000"``) opens a
+  WAL-mode sqlite store -- bounded record count with LRU eviction,
+  O(dirty-records) flushes, safe under heavy concurrent writers;
+* an already-open :class:`~repro.store.KVStore` is used as-is.
+
+Round-trips are bit-identical on every backend: records travel as JSON,
+Python's ``json`` emits the shortest ``repr`` of each float (which
+parses back to the exact same IEEE-754 value), and the regression tests
+assert field-for-field equality.
+
+Records are version-stamped.  ``CACHE_VERSION`` must be bumped whenever
 the model changes numbers (any change to the circuit or array models).
-A *known-older* version loads as empty and the next flush rewrites the
-file at the current version (the migration path).  An *unrecognized*
-version -- most likely a file written by a newer build -- is never
-served from and never clobbered: the cache warns once and redirects its
-own writes to a version-suffixed sibling path, leaving the foreign file
-intact.
+*Known-older* records are never served (the JSON backend rewrites the
+file at the current version on flush; the sqlite backend keeps rows
+per-version until ``gc``).  An *unrecognized* version -- most likely
+written by a newer build -- is never served from and never clobbered
+(the JSON backend redirects writes to a version-suffixed sibling; the
+sqlite backend stores versions side by side).
 """
 
 from __future__ import annotations
@@ -26,12 +37,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import warnings
 from dataclasses import asdict, fields
-from pathlib import Path
 
 from repro.array.organization import ArrayMetrics, ArraySpec, OrgParams
 from repro.core.config import OptimizationTarget
+from repro.store import KVStore, open_store
 from repro.tech.cells import CellTech
 
 #: Bump on any model change that alters solved numbers, or any change
@@ -116,27 +126,44 @@ def solve_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _record_shape_ok(record: dict) -> bool:
+    """Structural screen: a solve record must carry its spec and org."""
+    return "spec" in record and "org" in record
+
+
+def open_solve_store(spec: str | os.PathLike, **options) -> KVStore:
+    """Open a solve-record store (any backend) at the solve-cache
+    version, with solve-record screening installed."""
+    return open_store(
+        spec,
+        version=CACHE_VERSION,
+        older_versions=_OLDER_VERSIONS,
+        validate=_record_shape_ok,
+        **options,
+    )
+
+
 class SolveCache:
-    """On-disk cache of optimizer results, keyed by the solve request.
+    """Solve-keyed facade over a persistent :class:`~repro.store.KVStore`.
 
-    Opt-in: pass a path to :class:`~repro.core.cacti.CactiD` via
-    ``cache_path`` or to the CLI via ``--cache``.  Unreadable, corrupt,
-    or version-mismatched files are treated as empty, never as errors.
+    Opt-in: pass a path or store URL to
+    :class:`~repro.core.cacti.CactiD` via ``cache_path`` or to the CLI
+    via ``--cache``.  Unreadable, corrupt, or version-mismatched
+    records are treated as misses, never as errors.
 
-    Safe to share one path across processes (the batch-solve engine
-    does): every save first re-reads the file and merges its records
-    with the in-memory ones, then writes through a uniquely-named temp
-    file in the same directory and ``os.replace``s it into place.  A
-    killed process cannot corrupt the records, and two concurrent
-    writers cannot truncate each other's entries -- the last replace
-    wins with the union of both record sets.
+    Safe to share one store across processes (the batch-solve engine
+    does): the JSON backend merges concurrently-written records through
+    atomic whole-file replaces; the sqlite backend serializes row
+    upserts on the database's own write lock.  A killed process cannot
+    corrupt the records, and two concurrent writers cannot truncate
+    each other's entries.
 
-    Writes are batched: :meth:`put` only marks the cache dirty, and
-    :meth:`flush` performs the (merge-on-load, atomic-replace) save.
-    The solve pipeline flushes at solve and batch boundaries, so a
-    thousand-record sweep costs O(1) file rewrites instead of O(n^2)
-    disk I/O.  Using the cache as a context manager defers flushes
-    until the ``with`` block exits::
+    Writes are batched: :meth:`put` only stages the record, and
+    :meth:`flush` performs the backend save.  The solve pipeline
+    flushes at solve and batch boundaries, so a thousand-record sweep
+    costs O(1) store writes instead of O(n^2) disk I/O.  Using the
+    cache as a context manager defers flushes until the ``with`` block
+    exits::
 
         with cache:            # flushes once on exit, however many puts
             for spec in specs:
@@ -145,104 +172,80 @@ class SolveCache:
                 cache.flush()  # deferred: records only a pending flush
     """
 
-    def __init__(self, path: str | os.PathLike):
-        self.path = Path(path)
-        #: Where flushes land.  Normally ``path``; redirected to a
-        #: version-suffixed sibling when ``path`` holds a foreign
-        #: (unrecognized-version) cache that must not be clobbered.
-        self._write_path = self.path
+    def __init__(self, store: str | os.PathLike | KVStore):
+        if isinstance(store, KVStore):
+            self.store = store
+        else:
+            self.store = open_solve_store(store)
         self.hits = 0
         self.misses = 0
-        self._corrupt_keys: set[str] = set()
-        self._dirty = False
-        self._defer_depth = 0
-        self._records: dict[str, dict] = self._load()
+        #: Event counts already drained to an observability sink (see
+        #: :meth:`drain_events`).
+        self._drained: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Store delegation
+
+    @property
+    def path(self):
+        """Primary on-disk location of the backing store."""
+        return self.store.path
+
+    @property
+    def url(self) -> str:
+        """Round-trippable store spec: ``SolveCache(cache.url)`` in any
+        process opens the same store with the same backend options."""
+        return self.store.url
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.store)
 
     @property
     def corrupt_records(self) -> int:
         """Distinct corrupt/truncated records dropped so far."""
-        return len(self._corrupt_keys)
+        return self.store.corrupt_records
 
-    def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "corrupt_records": self.corrupt_records,
-            "records": len(self._records),
-        }
+    def flush(self) -> None:
+        """Write pending records to the store (no-op when unchanged).
 
-    def _load(self) -> dict[str, dict]:
-        try:
-            payload = json.loads(self._write_path.read_text())
-        except (OSError, ValueError):
-            return {}
-        if not isinstance(payload, dict):
-            return {}
-        version = payload.get("version")
-        if version != CACHE_VERSION:
-            if (
-                self._write_path == self.path
-                and version not in _OLDER_VERSIONS
-            ):
-                # Unrecognized version -- most likely a newer build's
-                # file.  Serving from it would be wrong and rewriting
-                # it would destroy it, so redirect our writes to a
-                # sibling and re-load from there (another process of
-                # this version may already have written it).
-                self._write_path = self.path.with_name(
-                    f"{self.path.name}.{CACHE_VERSION}"
-                )
-                warnings.warn(
-                    f"solve cache {self.path} has unrecognized version "
-                    f"{version!r} (this build is {CACHE_VERSION!r}); "
-                    f"preserving it and using {self._write_path} instead",
-                    stacklevel=2,
-                )
-                return self._load()
-            return {}
-        records = payload.get("records")
-        if not isinstance(records, dict):
-            return {}
-        return self._screen(records)
+        Inside a ``with cache:`` block the flush is deferred to the
+        block exit, so nested solve/batch boundaries collapse to one
+        store write per batch.
+        """
+        self.store.flush()
 
-    def _screen(self, records: dict) -> dict[str, dict]:
-        """Drop structurally corrupt records (and known-corrupt keys)
-        so they are neither served, re-parsed, nor re-persisted."""
-        kept: dict[str, dict] = {}
-        for key, record in records.items():
-            if key in self._corrupt_keys:
-                continue
-            if not (
-                isinstance(record, dict)
-                and "spec" in record
-                and "org" in record
-            ):
-                self._corrupt_keys.add(key)
-                self._dirty = True
-                continue
-            kept[key] = record
-        return kept
+    def refresh(self) -> None:
+        """Pick up records another process has written since we loaded."""
+        self.store.refresh()
+
+    def __enter__(self) -> "SolveCache":
+        self.store.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.store.__exit__(exc_type, exc, tb)
+
+    def close(self) -> None:
+        self.store.close()
+
+    # ------------------------------------------------------------------ #
+    # Solve-keyed access
 
     def get(
         self, spec: ArraySpec, target: OptimizationTarget, node_nm: float
     ) -> ArrayMetrics | None:
         key = solve_key(spec, target, node_nm)
-        record = self._records.get(key)
+        record = self.store.get(key)
         if record is None:
             self.misses += 1
             return None
         try:
             metrics = metrics_from_dict(record)
         except (KeyError, TypeError, ValueError):
-            # A hand-edited or truncated record: a miss, and dropped so
-            # it is never re-parsed or re-persisted.  Marking the cache
-            # dirty lets the next flush purge it from disk too.
-            del self._records[key]
-            self._corrupt_keys.add(key)
-            self._dirty = True
+            # A hand-edited or truncated record: a miss, and tombstoned
+            # so it is never re-parsed or re-persisted (the next flush
+            # purges it from disk too).
+            self.store.tombstone(key)
             self.misses += 1
             return None
         self.hits += 1
@@ -255,53 +258,70 @@ class SolveCache:
         node_nm: float,
         metrics: ArrayMetrics,
     ) -> None:
-        self._records[solve_key(spec, target, node_nm)] = metrics_to_dict(
-            metrics
+        self.store.put(
+            solve_key(spec, target, node_nm), metrics_to_dict(metrics)
         )
-        self._dirty = True
 
-    def flush(self) -> None:
-        """Write pending records to disk (no-op when nothing changed).
+    # ------------------------------------------------------------------ #
+    # Observability
 
-        Inside a ``with cache:`` block the flush is deferred to the
-        block exit, so nested solve/batch boundaries collapse to one
-        file write per batch.
+    def stats(self) -> dict:
+        """Facade hit/miss counters plus the backend's ``store.*`` stats."""
+        return {"hits": self.hits, "misses": self.misses,
+                **self.store.stats()}
+
+    def drain_events(self) -> tuple[dict[str, int], dict[str, int]]:
+        """Event-count deltas since the last drain, plus point-in-time
+        gauges.
+
+        Counters are cumulative for the cache's lifetime; observability
+        sinks (worker-local ``Obs`` registries that ship home and merge
+        by addition) need per-interval increments instead.  Returns
+        ``(deltas, gauges)`` where ``deltas`` covers hits / misses /
+        evictions / flush_writes / corrupt_records and ``gauges``
+        covers records / bytes_on_disk.
         """
-        if self._dirty and self._defer_depth == 0:
-            self._save()
-            self._dirty = False
+        store_stats = self.store.stats()
+        current = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": store_stats["evictions"],
+            "flush_writes": store_stats["flush_writes"],
+            "corrupt_records": store_stats["corrupt_records"],
+        }
+        deltas = {
+            name: value - self._drained.get(name, 0)
+            for name, value in current.items()
+        }
+        self._drained = current
+        gauges = {
+            "records": store_stats["records"],
+            "bytes_on_disk": store_stats["bytes_on_disk"],
+        }
+        return deltas, gauges
 
-    def __enter__(self) -> "SolveCache":
-        self._defer_depth += 1
-        return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self._defer_depth -= 1
-        self.flush()
+def account_store(solve_cache, stats, obs) -> None:
+    """Drain a solve cache's backend events into the run's sinks.
 
-    def refresh(self) -> None:
-        """Merge records another process has written since we loaded.
-
-        In-memory records win key conflicts, which is harmless: solves
-        are deterministic, so two processes writing the same key wrote
-        the same record.
-        """
-        self._records = {**self._load(), **self._records}
-
-    def _save(self) -> None:
-        # Load-before-save: tolerate a concurrently-updated file by
-        # taking the union of its records and ours.
-        self.refresh()
-        payload = {"version": CACHE_VERSION, "records": self._records}
-        self._write_path.parent.mkdir(parents=True, exist_ok=True)
-        # The temp name carries the pid so two processes sharing one
-        # cache path never write the same temp file; os.replace is
-        # atomic on POSIX and Windows.
-        tmp = self._write_path.with_name(
-            f"{self._write_path.name}.{os.getpid()}.tmp"
-        )
-        try:
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            os.replace(tmp, self._write_path)
-        finally:
-            tmp.unlink(missing_ok=True)
+    Emits the ``store.*`` metric family into ``obs`` (counters for
+    hits / misses / evictions / flush_writes / corrupt_records -- the
+    hits/misses pair yields a derived ``store.hit_rate`` in snapshots
+    -- and gauges for records / bytes_on_disk), and accumulates
+    eviction / flush-write counts into ``stats`` (a
+    :class:`~repro.core.optimizer.SweepStats`).  Safe to call at every
+    solve boundary: counts are drained as deltas, never double-counted.
+    """
+    if solve_cache is None or (stats is None and obs is None):
+        return
+    deltas, gauges = solve_cache.drain_events()
+    if obs is not None:
+        for name, delta in deltas.items():
+            counter = obs.metrics.counter(f"store.{name}")
+            if delta:
+                counter.inc(delta)
+        for name, value in gauges.items():
+            obs.gauge(f"store.{name}", value)
+    if stats is not None:
+        stats.store_evictions += deltas["evictions"]
+        stats.store_flush_writes += deltas["flush_writes"]

@@ -1,0 +1,155 @@
+"""repro.store: pluggable persistent stores for solve records.
+
+The one persistence primitive behind every caching layer
+(:class:`~repro.core.solvecache.SolveCache`, worker-local caches, the
+future batch-solve server) is a :class:`KVStore`: get/put/scan/flush of
+version-stamped JSON records with corrupt-record tombstoning.  Two
+backends implement it -- :class:`JsonFileStore` (the original
+single-file format, bit-compatible with existing ``--cache`` files) and
+:class:`SqliteStore` (WAL mode, bounded record count with LRU eviction,
+O(dirty) flushes, safe under concurrent writers).
+
+:func:`open_store` picks the backend from a store spec:
+
+* ``"solves.json"`` -- a plain path opens the JSON-file backend;
+* ``"sqlite:solves.db"`` -- the ``sqlite:`` scheme opens the sqlite
+  backend; options ride a query string
+  (``"sqlite:solves.db?max_records=10000&shard_prefix=2"``);
+* a plain path whose existing file starts with the sqlite magic bytes
+  opens the sqlite backend anyway -- a JSON-backend write would
+  otherwise destroy the database.
+
+:func:`~repro.store.migrate.migrate_store` moves every record between
+backends losslessly (JSON floats round-trip bit-exactly), which is the
+upgrade path from a grown ``--cache`` file to a bounded sqlite store.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.store.base import KVStore, Validator
+from repro.store.jsonfile import JsonFileStore
+from repro.store.migrate import migrate_store
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "KVStore",
+    "JsonFileStore",
+    "SqliteStore",
+    "StoreSpec",
+    "Validator",
+    "migrate_store",
+    "open_store",
+    "parse_store_url",
+]
+
+#: First bytes of every sqlite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Recognized option keys in a ``sqlite:`` URL query string, with their
+#: coercions.
+_SQLITE_OPTIONS = {"max_records": int, "shard_prefix": int}
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """A parsed store URL: backend, path, and backend options."""
+
+    backend: str  #: ``"json"`` or ``"sqlite"``
+    path: str
+    options: dict = field(default_factory=dict)
+
+
+def _sniff_sqlite(path: str) -> bool:
+    """True when ``path`` exists and holds a sqlite database."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def parse_store_url(spec: str | os.PathLike) -> StoreSpec:
+    """Parse a store spec into ``(backend, path, options)``.
+
+    ``sqlite:PATH[?opt=v&...]`` and ``json:PATH`` select a backend
+    explicitly; a bare path defaults to the JSON backend unless the
+    file already holds a sqlite database (sniffed by magic bytes), in
+    which case the sqlite backend is chosen -- rewriting a database as
+    a JSON file would destroy it.
+    """
+    text = os.fspath(spec)
+    if text.startswith("sqlite:"):
+        rest = text[len("sqlite:"):]
+        path, _, query = rest.partition("?")
+        if not path:
+            raise ValueError(f"no path in store url {text!r}")
+        options = {}
+        if query:
+            for pair in query.split("&"):
+                key, _, value = pair.partition("=")
+                if key not in _SQLITE_OPTIONS:
+                    raise ValueError(
+                        f"unknown store option {key!r} in {text!r}; "
+                        f"expected one of {sorted(_SQLITE_OPTIONS)}"
+                    )
+                try:
+                    options[key] = _SQLITE_OPTIONS[key](value)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad value for store option {key!r} in {text!r}"
+                    ) from exc
+        return StoreSpec("sqlite", path, options)
+    if text.startswith("json:"):
+        path = text[len("json:"):]
+        if not path:
+            raise ValueError(f"no path in store url {text!r}")
+        return StoreSpec("json", path)
+    if _sniff_sqlite(text):
+        return StoreSpec("sqlite", text)
+    return StoreSpec("json", text)
+
+
+def open_store(
+    spec: str | os.PathLike,
+    *,
+    version: str,
+    older_versions: tuple[str, ...] = (),
+    validate: Validator | None = None,
+    max_records: int | None = None,
+) -> KVStore:
+    """Open the store named by ``spec`` (see :func:`parse_store_url`).
+
+    ``version``/``older_versions``/``validate`` configure record
+    stamping and screening identically on every backend.
+    ``max_records`` bounds the sqlite backend (URL options win over the
+    keyword); the JSON backend is unbounded and rejects a bound rather
+    than silently ignoring it.
+    """
+    parsed = parse_store_url(spec)
+    if parsed.backend == "sqlite":
+        options = dict(parsed.options)
+        if max_records is not None:
+            options.setdefault("max_records", max_records)
+        return SqliteStore(
+            parsed.path,
+            version=version,
+            older_versions=older_versions,
+            validate=validate,
+            **options,
+        )
+    if max_records is not None:
+        raise ValueError(
+            "max_records needs the sqlite backend "
+            f"(got JSON store {parsed.path!r}); "
+            f"use 'sqlite:{parsed.path}'"
+        )
+    return JsonFileStore(
+        Path(parsed.path),
+        version=version,
+        older_versions=older_versions,
+        validate=validate,
+    )

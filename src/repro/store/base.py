@@ -1,0 +1,220 @@
+"""The :class:`KVStore` protocol: a bounded, versioned record store.
+
+Every persistence layer in the pipeline -- the solve cache, the
+cachedb consult path, worker-local caches -- ultimately needs the same
+small contract: get/put JSON records by string key, batch writes into
+explicit flushes, survive concurrent writers, stamp records with a
+model version so stale numbers are never served, and tombstone corrupt
+records so they are neither re-parsed nor re-persisted.
+
+:class:`KVStore` is that contract.  Two backends implement it:
+
+* :class:`~repro.store.jsonfile.JsonFileStore` -- the original single
+  JSON file, rewritten whole through an atomic replace.  Bit-compatible
+  with every cache file written before the store refactor; the right
+  choice for small caches and human-inspectable artifacts.
+* :class:`~repro.store.sqlite.SqliteStore` -- a WAL-mode sqlite
+  database with per-record version stamps, batched O(dirty) flushes,
+  optional key-prefix sharding, and a bounded record count enforced by
+  least-recently-used eviction.  The right choice for heavy concurrent
+  traffic and stores too large to rewrite whole.
+
+The shared machinery lives here: dirty tracking, deferred flushes
+(context-manager nesting collapses solve/batch boundaries to one write),
+tombstone bookkeeping, and the ``stats()`` shape every backend reports.
+
+Determinism contract: a store changes *when* a record is read from or
+written to disk, never *what* the record says.  Records are JSON
+objects whose floats round-trip bit-exactly (shortest-repr encoding),
+so a record served from either backend is field-for-field identical to
+the one that was put.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from pathlib import Path
+from typing import Callable, Iterator
+
+#: Record validation hook: ``validate(record) -> bool``.  A record that
+#: fails validation is structurally corrupt -- tombstoned, counted, and
+#: never served.
+Validator = Callable[[dict], bool]
+
+
+class KVStore(abc.ABC):
+    """Abstract persistent key-value store of JSON-object records.
+
+    Subclasses implement the storage engine (:meth:`get`, :meth:`put`,
+    :meth:`scan`, :meth:`refresh`, :meth:`_save`, :meth:`__len__`);
+    this base class owns the write-batching protocol shared by every
+    backend:
+
+    * :meth:`put` and :meth:`tombstone` only mark the store dirty;
+    * :meth:`flush` performs the backend save (a no-op when clean);
+    * entering the store as a context manager defers nested flushes to
+      the outermost exit, so a thousand-record sweep costs O(1) saves.
+
+    ``version`` stamps every record (or file) written; records at other
+    versions are never served.  ``older_versions`` names this build's
+    ancestors -- safe to drop/rewrite; anything else is foreign (likely
+    a newer build's) and must be preserved.  ``validate`` screens
+    structurally corrupt records into tombstones.
+    """
+
+    #: Short backend name reported by :meth:`stats` and ``repro cache info``.
+    BACKEND = "abstract"
+
+    def __init__(
+        self,
+        *,
+        version: str,
+        older_versions: tuple[str, ...] = (),
+        validate: Validator | None = None,
+    ):
+        self.version = version
+        self.older_versions = tuple(older_versions)
+        self.validate = validate
+        #: Cumulative counters (monotonic for the life of the instance).
+        self.evictions = 0
+        self.flush_writes = 0
+        self._tombstoned: set[str] = set()
+        self._dirty = False
+        self._defer_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # Engine interface (backend-specific)
+
+    @property
+    @abc.abstractmethod
+    def path(self) -> Path:
+        """Primary on-disk location of the store."""
+
+    @property
+    @abc.abstractmethod
+    def url(self) -> str:
+        """Round-trippable store spec: ``open_store(store.url)`` opens
+        the same store with the same options (eviction bound, sharding),
+        in this process or a worker."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> dict | None:
+        """The record at ``key``, or None (missing, tombstoned, or
+        version-mismatched)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, record: dict) -> None:
+        """Stage ``record`` at ``key`` (persisted at the next flush)."""
+
+    @abc.abstractmethod
+    def scan(self) -> Iterator[tuple[str, dict]]:
+        """Iterate every live ``(key, record)`` at the current version,
+        including staged-but-unflushed ones."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Live record count (current version, not tombstoned)."""
+
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Pick up records concurrently written by other processes."""
+
+    @abc.abstractmethod
+    def _save(self) -> None:
+        """Persist staged mutations (called by :meth:`flush` when dirty)."""
+
+    # ------------------------------------------------------------------ #
+    # Shared write-batching protocol
+
+    def flush(self) -> None:
+        """Persist staged mutations (no-op when clean or deferred)."""
+        if self._dirty and self._defer_depth == 0:
+            self._save()
+            self._dirty = False
+            self.flush_writes += 1
+
+    def __enter__(self) -> "KVStore":
+        self._defer_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._defer_depth -= 1
+        self.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources (idempotent)."""
+        self.flush()
+
+    # ------------------------------------------------------------------ #
+    # Tombstones and stats
+
+    def tombstone(self, key: str) -> None:
+        """Mark ``key``'s record corrupt: dropped from memory and -- at
+        the next flush -- from disk, counted, never served again."""
+        if key in self._tombstoned:
+            return
+        self._tombstoned.add(key)
+        self._dirty = True
+        self._drop(key)
+
+    def _drop(self, key: str) -> None:
+        """Backend hook: remove ``key`` from any in-memory view."""
+
+    @property
+    def corrupt_records(self) -> int:
+        """Distinct corrupt/truncated records tombstoned so far."""
+        return len(self._tombstoned)
+
+    def _screen_record(self, key: str, record) -> dict | None:
+        """Validate one record, tombstoning it when corrupt."""
+        if key in self._tombstoned:
+            return None
+        ok = isinstance(record, dict) and (
+            self.validate is None or self.validate(record)
+        )
+        if not ok:
+            self.tombstone(key)
+            return None
+        return record
+
+    def bytes_on_disk(self) -> int:
+        """Current on-disk footprint of the store (0 when unwritten)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def stats(self) -> dict:
+        """Uniform backend stats: the ``store.*`` metric family."""
+        return {
+            "backend": self.BACKEND,
+            "records": len(self),
+            "corrupt_records": self.corrupt_records,
+            "evictions": self.evictions,
+            "flush_writes": self.flush_writes,
+            "bytes_on_disk": self.bytes_on_disk(),
+        }
+
+    def gc(self) -> dict:
+        """Reclaim space: purge tombstones and stale-version leftovers.
+
+        Backends extend this; the base implementation only forces a
+        flush (which already drops tombstoned records from disk).
+        Returns a report dict of what was reclaimed.
+        """
+        before = self.bytes_on_disk()
+        self.flush()
+        return {
+            "backend": self.BACKEND,
+            "purged_tombstones": self.corrupt_records,
+            "bytes_before": before,
+            "bytes_after": self.bytes_on_disk(),
+        }
+
+    def info(self) -> dict:
+        """Inspection report for ``repro cache info``."""
+        report = {"path": str(self.path), "url": self.url,
+                  "version": self.version}
+        report.update(self.stats())
+        return report

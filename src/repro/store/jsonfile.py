@@ -1,0 +1,284 @@
+"""The single-JSON-file backend: the original cache format, unchanged.
+
+One file holds ``{"version": ..., "records": {key: record, ...}}``,
+written with sorted keys -- byte-compatible with every solve-cache file
+produced before the store refactor, so existing ``--cache`` files keep
+working (and stay readable by older builds of the same version).
+
+Every save rewrites the whole file: load-before-save merges records a
+concurrent writer flushed since we loaded, then an atomic
+``os.replace`` of a uniquely-named temp file swaps the union in.  The
+load-merge-replace sequence holds an advisory ``flock`` on a sibling
+``<name>.lock`` file, so concurrent saves serialize and each one's
+union really contains every record flushed before it -- without the
+lock, two overlapping saves could both load the same disk state and
+the second replace would drop records the first added.  A killed
+process cannot corrupt the records (the lock dies with it and the
+temp-file swap is atomic).  The O(total records) rewrite is this
+backend's scaling limit; :class:`~repro.store.sqlite.SqliteStore`
+exists for workloads past it.
+
+Version handling mirrors the original cache: a *known-older* version
+loads as empty and the next flush rewrites the file at the current
+version (the migration path).  An *unrecognized* version -- most
+likely a file written by a newer build -- is never served from and
+never clobbered: the store warns once and redirects its own writes to
+a version-suffixed sibling path (``<name>.<version>``), leaving the
+foreign file intact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - Windows: saves stay last-wins
+    fcntl = None
+
+from repro.store.base import KVStore, Validator
+
+
+class JsonFileStore(KVStore):
+    """One version-stamped JSON file of records, rewritten atomically."""
+
+    BACKEND = "json"
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        version: str,
+        older_versions: tuple[str, ...] = (),
+        validate: Validator | None = None,
+    ):
+        super().__init__(
+            version=version, older_versions=older_versions,
+            validate=validate,
+        )
+        self._path = Path(path)
+        #: Where flushes land.  Normally ``path``; redirected to a
+        #: version-suffixed sibling when ``path`` holds a foreign
+        #: (unrecognized-version) store that must not be clobbered.
+        self._write_path = self._path
+        # Created empty before _load(): screening inside the load may
+        # tombstone corrupt records, which drops them from _records.
+        self._records: dict[str, dict] = {}
+        self._records = self._load()
+
+    # ------------------------------------------------------------------ #
+    # Engine interface
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def url(self) -> str:
+        return str(self._path)
+
+    def get(self, key: str) -> dict | None:
+        record = self._records.get(key)
+        if record is None:
+            return None
+        return self._screen_record(key, record)
+
+    def put(self, key: str, record: dict) -> None:
+        self._records[key] = record
+        self._tombstoned.discard(key)
+        self._dirty = True
+
+    def scan(self) -> Iterator[tuple[str, dict]]:
+        # Key order, matching the sqlite backend's ORDER BY: scans (and
+        # everything built on them, e.g. migration) are deterministic.
+        for key in sorted(self._records):
+            record = self.get(key)
+            if record is not None:
+                yield key, record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def refresh(self) -> None:
+        """Merge records another process wrote since we loaded.
+
+        In-memory records win key conflicts, which is harmless for
+        deterministic workloads: two processes writing the same key
+        wrote the same record.  Tombstoned keys stay dropped.
+        """
+        self._records = {**self._load(), **self._records}
+
+    def _drop(self, key: str) -> None:
+        self._records.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # File format
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            payload = json.loads(self._write_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        version = payload.get("version")
+        if version != self.version:
+            if (
+                self._write_path == self._path
+                and version not in self.older_versions
+            ):
+                # Unrecognized version -- most likely a newer build's
+                # file.  Serving from it would be wrong and rewriting
+                # it would destroy it, so redirect our writes to a
+                # sibling and re-load from there (another process of
+                # this version may already have written it).
+                self._write_path = self.sibling_path(self.version)
+                warnings.warn(
+                    f"store {self._path} has unrecognized version "
+                    f"{version!r} (this build is {self.version!r}); "
+                    f"preserving it and using {self._write_path} instead",
+                    stacklevel=2,
+                )
+                return self._load()
+            return {}
+        records = payload.get("records")
+        if not isinstance(records, dict):
+            return {}
+        return self._screen(records)
+
+    def _screen(self, records: dict) -> dict[str, dict]:
+        """Drop structurally corrupt records (and known-corrupt keys)
+        so they are neither served, re-parsed, nor re-persisted."""
+        kept: dict[str, dict] = {}
+        for key, record in records.items():
+            if key in self._tombstoned:
+                continue
+            if self._screen_record(key, record) is None:
+                continue
+            kept[key] = record
+        return kept
+
+    @contextlib.contextmanager
+    def _save_lock(self):
+        """Hold an advisory exclusive lock spanning one load-merge-replace.
+
+        The lock file is a sibling (``<name>.lock``) left in place
+        between saves: deleting it would race lock acquisition.  The
+        kernel releases the lock when the holder exits, however it
+        dies.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock = self._write_path.with_name(f"{self._write_path.name}.lock")
+        with open(lock, "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _save(self) -> None:
+        self._write_path.parent.mkdir(parents=True, exist_ok=True)
+        # The temp name carries the pid so two processes sharing one
+        # store path never write the same temp file; os.replace is
+        # atomic on POSIX and Windows.
+        tmp = self._write_path.with_name(
+            f"{self._write_path.name}.{os.getpid()}.tmp"
+        )
+        with self._save_lock():
+            # Load-before-save: merge records a concurrent writer
+            # flushed since we loaded, under the lock so the union is
+            # complete.
+            self.refresh()
+            payload = {"version": self.version, "records": self._records}
+            try:
+                tmp.write_text(json.dumps(payload, sort_keys=True))
+                os.replace(tmp, self._write_path)
+            finally:
+                tmp.unlink(missing_ok=True)
+
+    def bytes_on_disk(self) -> int:
+        try:
+            return os.path.getsize(self._write_path)
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+
+    def sibling_path(self, version: str) -> Path:
+        """The version-suffixed sibling redirect path for ``version``."""
+        return self._path.with_name(f"{self._path.name}.{version}")
+
+    def stale_siblings(self) -> list[Path]:
+        """Sibling-redirect files left behind by superseded versions.
+
+        A sibling at a *known-older* version is stale by definition.  A
+        sibling at the *current* version is stale only when the main
+        path is writable at the current version (the redirect that
+        created it is gone), and its records are merged before removal.
+        Siblings at unrecognized versions are foreign and preserved.
+        """
+        stale = [
+            sibling
+            for version in self.older_versions
+            if (sibling := self.sibling_path(version)).exists()
+        ]
+        current = self.sibling_path(self.version)
+        if self._write_path == self._path and current.exists():
+            stale.append(current)
+        return stale
+
+    def gc(self) -> dict:
+        """Purge tombstones and remove stale-version sibling files.
+
+        Records from a current-version sibling are merged into the main
+        file before the sibling is deleted, so gc never loses a live
+        record.  Returns a report of what was reclaimed.
+        """
+        before = self.bytes_on_disk()
+        removed: list[str] = []
+        merged = 0
+        for sibling in self.stale_siblings():
+            try:
+                payload = json.loads(sibling.read_text())
+            except (OSError, ValueError):
+                payload = {}
+            if (
+                isinstance(payload, dict)
+                and payload.get("version") == self.version
+                and isinstance(payload.get("records"), dict)
+            ):
+                for key, record in self._screen(
+                    payload["records"]
+                ).items():
+                    if key not in self._records:
+                        self._records[key] = record
+                        merged += 1
+                        self._dirty = True
+            sibling.unlink(missing_ok=True)
+            removed.append(sibling.name)
+        purged = self.corrupt_records
+        self.flush()
+        return {
+            "backend": self.BACKEND,
+            "purged_tombstones": purged,
+            "removed_siblings": removed,
+            "merged_records": merged,
+            "bytes_before": before,
+            "bytes_after": self.bytes_on_disk(),
+        }
+
+    def info(self) -> dict:
+        report = super().info()
+        report["stale_siblings"] = [
+            p.name for p in self.stale_siblings()
+        ]
+        report["redirected"] = self._write_path != self._path
+        return report

@@ -1,0 +1,47 @@
+"""Lossless migration between store backends.
+
+The upgrade path from a grown single-file ``--cache`` to a bounded
+sqlite store (or back, for inspection) is a record-for-record copy:
+:func:`migrate_store` scans every live current-version record of the
+source and puts it into the destination, then flushes once.  Records
+are JSON objects whose floats round-trip bit-exactly, so the golden
+tests can assert field-for-field identity across a migration.
+
+What does *not* migrate, by design:
+
+* tombstoned (corrupt) records -- migration is the natural point to
+  shed them;
+* records at other model versions -- they would never be served at the
+  current version, and the source keeps them for its own ``gc``.
+"""
+
+from __future__ import annotations
+
+from repro.store.base import KVStore
+
+
+def migrate_store(src: KVStore, dst: KVStore) -> dict:
+    """Copy every live record from ``src`` into ``dst``.
+
+    Existing destination records are preserved; a key present in both
+    is overwritten with the source's record (the migration source is
+    the authority).  Returns a report dict with the copied count and
+    both stores' record totals.
+    """
+    if src.path.resolve() == dst.path.resolve():
+        raise ValueError(
+            f"source and destination are the same store: {src.url}"
+        )
+    copied = 0
+    with dst:
+        for key, record in src.scan():
+            dst.put(key, record)
+            copied += 1
+    return {
+        "migrated": copied,
+        "skipped_corrupt": src.corrupt_records,
+        "source": src.url,
+        "destination": dst.url,
+        "source_records": len(src),
+        "destination_records": len(dst),
+    }

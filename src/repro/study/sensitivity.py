@@ -11,7 +11,6 @@ plus local elasticities (d log(metric) / d log(input)).
 from __future__ import annotations
 
 import math
-import os
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
@@ -27,7 +26,7 @@ from repro.core.resilience import (
     task_key,
 )
 from repro.core.results import Solution
-from repro.core.solvecache import SolveCache
+from repro.core.solvecache import SolveCache, account_store as _account_store
 from repro.obs import Obs, maybe_span
 
 #: Metrics extracted from each solved point.
@@ -252,10 +251,12 @@ def sweep(
                             ):
                                 solution = None
                     solutions.append(solution)
+            # Drain the sweep-boundary flush the context exit above
+            # just performed.
+            _account_store(solve_cache, stats, obs)
         else:
             cache_path = (
-                os.fspath(solve_cache.path)
-                if solve_cache is not None else None
+                solve_cache.url if solve_cache is not None else None
             )
             live = [s for s in specs if s is not None]
             keys = None
@@ -301,6 +302,7 @@ def sweep(
                     obs.absorb_worker(worker_stats.get("obs"))
             if solve_cache is not None:
                 solve_cache.refresh()
+                _account_store(solve_cache, stats, obs)
     if obs is not None:
         obs.inc("sensitivity.points", len(specs))
         obs.inc(

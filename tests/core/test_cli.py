@@ -304,3 +304,81 @@ class TestResilienceFlags:
             main([
                 "cache", "--capacity", "256K", "--on-error", "explode",
             ])
+
+
+class TestCacheStoreCli:
+    """--cache sqlite: URLs and the cache {info,gc,migrate} subcommands."""
+
+    def _solve(self, store, tmp_path, extra=()):
+        return ["cache", "--capacity", "64K", "--cache", store, *extra]
+
+    def test_sqlite_cache_flag_creates_and_reuses(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 'solves.db'}"
+        args = self._solve(url, tmp_path)
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "solves.db").exists()
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cache_info_json(self, tmp_path, capsys):
+        path = str(tmp_path / "solves.json")
+        assert main(self._solve(path, tmp_path)) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", path]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "json" in out
+        assert "records" in out
+
+    def test_cache_info_sqlite(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 'solves.db'}"
+        assert main(self._solve(url, tmp_path)) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", url]) == 0
+        out = capsys.readouterr().out
+        assert "sqlite" in out and "versions" in out
+
+    def test_cache_gc_removes_stale_sibling(self, tmp_path, capsys):
+        """Satellite bugfix: stale-version sibling redirect files are
+        garbage-collectable from the CLI."""
+        from repro.core.solvecache import _OLDER_VERSIONS
+
+        path = tmp_path / "solves.json"
+        stale = tmp_path / f"solves.json.{_OLDER_VERSIONS[0]}"
+        stale.write_text('{"version": "%s", "records": {}}'
+                         % _OLDER_VERSIONS[0])
+        assert main(["cache", "gc", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert stale.name in out
+        assert not stale.exists()
+
+    def test_cache_migrate_round_trip(self, tmp_path, capsys):
+        """JSON -> sqlite -> query: the migrated store serves the solve
+        (a hit, bit-identical output) without re-solving."""
+        src = str(tmp_path / "solves.json")
+        dst = f"sqlite:{tmp_path / 'solves.db'}"
+        assert main(self._solve(src, tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert main(["cache", "migrate", src, dst]) == 0
+        report = capsys.readouterr().out
+        assert "migrated" in report
+        assert main(self._solve(dst, tmp_path)) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cache_migrate_same_store_is_clean_error(self, tmp_path,
+                                                     capsys):
+        path = str(tmp_path / "solves.json")
+        assert main(self._solve(path, tmp_path)) == 0
+        capsys.readouterr()
+        assert main(["cache", "migrate", path, path]) == 2
+        assert "same store" in capsys.readouterr().err
+
+    def test_solve_without_capacity_is_clean_error(self, capsys):
+        assert main(["cache"]) == 2
+        err = capsys.readouterr().err
+        assert "--capacity" in err
+
+    def test_bad_store_option_is_clean_error(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 'solves.db'}?bogus=1"
+        assert main(self._solve(url, tmp_path)) == 2
+        assert "unknown store option" in capsys.readouterr().err

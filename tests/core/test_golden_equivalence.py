@@ -118,21 +118,104 @@ def test_parallel_optimize_is_bit_identical(spec, node, target, jobs):
     assert_metrics_identical(serial, sharded)
 
 
+def _store_spec(backend, tmp_path) -> str:
+    """A solve-store spec for ``backend`` under ``tmp_path``."""
+    if backend == "json":
+        return str(tmp_path / "solves.json")
+    return f"sqlite:{tmp_path / 'solves.db'}"
+
+
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
 @pytest.mark.parametrize("spec,node,target", GRID)
-def test_solve_cache_round_trip_is_bit_identical(spec, node, target, tmp_path):
+def test_solve_cache_round_trip_is_bit_identical(
+    spec, node, target, backend, tmp_path
+):
     tech = technology(node)
     direct = optimize(tech, spec, target)
 
-    cache = SolveCache(tmp_path / "solves.json")
+    store = _store_spec(backend, tmp_path)
+    cache = SolveCache(store)
     first = optimize(tech, spec, target, solve_cache=cache)
     assert_metrics_identical(first, direct)
+    cache.close()
 
-    # A fresh cache object re-reads the file: the disk round trip must
-    # reproduce every float exactly.
-    reread = SolveCache(tmp_path / "solves.json")
+    # A fresh cache object re-reads the backend: the disk round trip
+    # must reproduce every float exactly on either backend.
+    reread = SolveCache(store)
     cached = optimize(tech, spec, target, solve_cache=reread)
     assert reread.hits == 1
     assert_metrics_identical(cached, direct)
+    reread.close()
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+def test_solve_batch_bit_identical_on_both_backends(
+    backend, jobs, tmp_path
+):
+    """solve_batch x {json, sqlite} x jobs {1,2,4}: worker processes
+    sharing either store produce field-for-field the numbers of the
+    cache-free serial path, and a second batch is served entirely from
+    the store -- still bit-identical."""
+    from repro.core.cacti import solve_batch
+    from repro.core.config import MemorySpec
+
+    specs = [
+        MemorySpec(
+            capacity_bytes=capacity_kb << 10,
+            block_bytes=64,
+            associativity=8,
+            node_nm=32.0,
+            cell_tech=CellTech.SRAM,
+        )
+        for capacity_kb in (16, 32, 64, 128)
+    ]
+    baseline = solve_batch(specs, jobs=1)
+
+    cache = SolveCache(_store_spec(backend, tmp_path))
+    first = solve_batch(specs, solve_cache=cache, jobs=jobs)
+    for a, b in zip(baseline, first):
+        assert_metrics_identical(a.data, b.data)
+        assert_metrics_identical(a.tag, b.tag)
+
+    cache.refresh()
+    assert len(cache) == 2 * len(specs)  # data + tag arrays per spec
+    again = solve_batch(specs, solve_cache=cache, jobs=1)
+    assert cache.hits == 2 * len(specs)
+    for a, b in zip(baseline, again):
+        assert_metrics_identical(a.data, b.data)
+        assert_metrics_identical(a.tag, b.tag)
+    cache.close()
+
+
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+def test_migrated_store_serves_bit_identical_records(backend, tmp_path):
+    """Solve into one backend, migrate to the other, re-solve from the
+    migrated store: every record survives the migration bit-exactly."""
+    from repro.core.solvecache import open_solve_store
+    from repro.store import migrate_store
+
+    spec, target = sram_spec(), OptimizationTarget()
+    tech = technology(32.0)
+    src_spec = _store_spec(backend, tmp_path)
+    other = "sqlite" if backend == "json" else "json"
+    dst_spec = _store_spec(other, tmp_path)
+
+    cache = SolveCache(src_spec)
+    direct = optimize(tech, spec, target, solve_cache=cache)
+    cache.close()
+
+    src = open_solve_store(src_spec)
+    dst = open_solve_store(dst_spec)
+    report = migrate_store(src, dst)
+    assert report["migrated"] == 1
+    src.close(), dst.close()
+
+    migrated = SolveCache(dst_spec)
+    served = optimize(tech, spec, target, solve_cache=migrated)
+    assert migrated.hits == 1
+    assert_metrics_identical(served, direct)
+    migrated.close()
 
 
 @pytest.mark.parametrize("spec,node,target", GRID)

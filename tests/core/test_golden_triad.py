@@ -65,6 +65,36 @@ def test_solves_match_golden(record, jobs):
     assert tag == record["tag"]
 
 
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+def test_solves_match_golden_through_either_store(backend, jobs, tmp_path):
+    """A persistent solve store must be numerically invisible: solving
+    the golden triad through either backend (cold, then warm from the
+    store) reproduces the recorded numbers bit-identically at any job
+    count."""
+    from repro.core.solvecache import SolveCache
+
+    store = (
+        str(tmp_path / "solves.json") if backend == "json"
+        else f"sqlite:{tmp_path / 'solves.db'}"
+    )
+    for _round in ("cold", "warm"):
+        cache = SolveCache(store)
+        for record in GOLDEN["solves"]:
+            spec = MemorySpec(**record["spec"])
+            solution = solve(
+                spec, TARGETS[record["target"]], solve_cache=cache,
+                jobs=jobs,
+            )
+            assert reencode(metrics_to_dict(solution.data)) == record["data"]
+            tag = (
+                reencode(metrics_to_dict(solution.tag))
+                if solution.tag is not None else None
+            )
+            assert tag == record["tag"]
+        cache.close()
+
+
 def test_table3_matches_golden():
     from repro.study.table3 import solve_table3
 

@@ -201,7 +201,11 @@ class TestConcurrentWriters:
     def test_save_leaves_no_temp_files(self, tmp_path, best):
         path = tmp_path / "c.json"
         put_and_flush(path, SPEC, TARGET, 32.0, best)
-        assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+        # The save-serializing lock file stays behind by design
+        # (deleting it would race lock acquisition); no temp file may.
+        assert sorted(q.name for q in tmp_path.iterdir()) == [
+            "c.json", "c.json.lock",
+        ]
 
     def test_atomic_write_via_os_replace(self, tmp_path, best, monkeypatch):
         """The records file itself is never opened for writing: a crash
@@ -215,7 +219,7 @@ class TestConcurrentWriters:
             replaced.append((str(src), str(dst)))
             return real_replace(src, dst)
 
-        monkeypatch.setattr("repro.core.solvecache.os.replace", spy)
+        monkeypatch.setattr("repro.store.jsonfile.os.replace", spy)
         path = tmp_path / "c.json"
         put_and_flush(path, SPEC, TARGET, 32.0, best)
         assert len(replaced) == 1
@@ -235,7 +239,7 @@ def count_replaces(monkeypatch) -> list:
         replaced.append((str(src), str(dst)))
         return real_replace(src, dst)
 
-    monkeypatch.setattr("repro.core.solvecache.os.replace", spy)
+    monkeypatch.setattr("repro.store.jsonfile.os.replace", spy)
     return replaced
 
 
@@ -383,7 +387,9 @@ class TestForeignVersionPreserved:
         cache.put(SPEC, TARGET, 32.0, best)
         cache.flush()
         assert json.loads(path.read_text())["version"] == CACHE_VERSION
-        assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+        assert sorted(q.name for q in tmp_path.iterdir()) == [
+            "c.json", "c.json.lock",  # no version-suffixed sibling
+        ]
 
 
 class TestCorruptRecordsDropped:
@@ -445,3 +451,141 @@ class TestCorruptRecordsDropped:
         cache.refresh()  # merge-on-load must honor the tombstones
         assert len(cache) == 0
         assert cache.get(SPEC, TARGET, 32.0) is None
+
+
+class TestSqliteBackedSolveCache:
+    """The facade behaves identically over the sqlite backend."""
+
+    def _url(self, tmp_path, options=""):
+        return f"sqlite:{tmp_path / 'c.db'}{options}"
+
+    def test_put_get_and_persistence(self, tmp_path, best):
+        url = self._url(tmp_path)
+        cache = SolveCache(url)
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        cache.put(SPEC, TARGET, 32.0, best)
+        assert cache.get(SPEC, TARGET, 32.0) == best
+        assert cache.hits == 1 and cache.misses == 1
+        cache.close()
+        reopened = SolveCache(url)
+        assert reopened.get(SPEC, TARGET, 32.0) == best
+        reopened.close()
+
+    def test_url_round_trip_preserves_options(self, tmp_path):
+        url = self._url(tmp_path, "?max_records=5")
+        cache = SolveCache(url)
+        assert cache.url == url
+        assert cache.store.max_records == 5
+        cache.close()
+
+    def test_eviction_bound_through_facade(self, tmp_path, best):
+        cache = SolveCache(self._url(tmp_path, "?max_records=3"))
+        for node in range(32, 40):
+            cache.put(SPEC, TARGET, float(node), best)
+        cache.flush()
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 5
+        cache.close()
+
+    def test_older_version_records_are_misses(self, tmp_path, best):
+        from repro.core.solvecache import (
+            _OLDER_VERSIONS,
+            metrics_to_dict,
+            solve_key,
+        )
+        from repro.store import SqliteStore
+
+        old = SqliteStore(tmp_path / "c.db", version=_OLDER_VERSIONS[-1])
+        old.put(solve_key(SPEC, TARGET, 32.0), metrics_to_dict(best))
+        old.flush()
+        old.close()
+        cache = SolveCache(self._url(tmp_path))
+        assert cache.get(SPEC, TARGET, 32.0) is None
+        assert cache.misses == 1
+        cache.close()
+
+    def test_kvstore_instance_accepted_directly(self, tmp_path, best):
+        from repro.core.solvecache import open_solve_store
+
+        store = open_solve_store(self._url(tmp_path))
+        cache = SolveCache(store)
+        assert cache.store is store
+        cache.put(SPEC, TARGET, 32.0, best)
+        assert cache.get(SPEC, TARGET, 32.0) == best
+        cache.close()
+
+
+class TestStoreAccounting:
+    """drain_events() hands per-interval deltas to the metric sinks."""
+
+    def test_drain_events_never_double_counts(self, tmp_path, best):
+        cache = SolveCache(tmp_path / "c.json")
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        cache.get(SPEC, TARGET, 32.0)
+        deltas, gauges = cache.drain_events()
+        assert deltas["flush_writes"] == 1
+        assert deltas["hits"] == 1
+        assert gauges["records"] == 1
+        # A second drain with no new activity is all zeros.
+        deltas, _gauges = cache.drain_events()
+        assert all(v == 0 for v in deltas.values())
+
+    def test_account_store_feeds_stats_and_obs(self, tmp_path, best):
+        from repro.core.optimizer import SweepStats
+        from repro.core.solvecache import account_store
+        from repro.obs import Obs
+
+        cache = SolveCache(tmp_path / "c.json")
+        stats, obs = SweepStats(), Obs()
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        account_store(cache, stats, obs)
+        account_store(cache, stats, obs)  # idempotent when idle
+        assert stats.store_flush_writes == 1
+        assert obs.metrics.counter("store.flush_writes").value == 1
+        assert obs.metrics.counter("store.misses").value == 0
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["gauges"]["store.records"] == 1
+
+    def test_account_store_tolerates_missing_sinks(self, tmp_path, best):
+        from repro.core.solvecache import account_store
+
+        account_store(None, None, None)  # no cache: nothing to do
+        cache = SolveCache(tmp_path / "c.json")
+        account_store(cache, None, None)  # no sinks: must not drain
+        cache.put(SPEC, TARGET, 32.0, best)
+        cache.flush()
+        deltas, _ = cache.drain_events()
+        assert deltas["flush_writes"] == 1
+
+    def test_stats_summary_shows_store_line(self, tmp_path, best,
+                                            monkeypatch):
+        """A solve through a store surfaces flush counts in --stats."""
+        from repro.core import optimizer as optimizer_module
+        from repro.core.cacti import solve
+        from repro.core.config import MemorySpec
+        from repro.core.optimizer import SweepStats
+
+        monkeypatch.setattr(
+            optimizer_module,
+            "feasible_designs",
+            lambda tech, spec, **kwargs: [best],
+        )
+        stats = SweepStats()
+        cache = SolveCache(tmp_path / "c.json")
+        solve(
+            MemorySpec(
+                capacity_bytes=64 << 10,
+                block_bytes=64,
+                associativity=None,
+                node_nm=32.0,
+                cell_tech=CellTech.SRAM,
+            ),
+            TARGET,
+            solve_cache=cache,
+            stats=stats,
+        )
+        assert stats.store_flush_writes == 1
+        assert "solve store" in stats.summary()
+        cache.close()

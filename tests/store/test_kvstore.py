@@ -1,0 +1,474 @@
+"""Backend-agnostic KVStore contract tests.
+
+Every test in ``TestContract`` runs against both backends through the
+``store`` fixture: the protocol (put/get/scan/flush/stats, version
+stamping, corrupt-record tombstoning, deferred flushes) must behave
+identically whether the bytes land in a JSON file or a sqlite database.
+Backend-specific behavior (LRU eviction, sharding, sibling redirects)
+gets its own classes below.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.store import (
+    JsonFileStore,
+    SqliteStore,
+    StoreSpec,
+    open_store,
+    parse_store_url,
+)
+
+VERSION = "test-v2"
+OLDER = ("test-v1",)
+
+RECORD = {"spec": {"a": 1.5}, "org": {"b": 2}, "x": 0.1 + 0.2}
+
+BACKENDS = ("json", "sqlite")
+
+
+def make_store(backend, tmp_path, **kwargs):
+    kwargs.setdefault("version", VERSION)
+    kwargs.setdefault("older_versions", OLDER)
+    if backend == "json":
+        return JsonFileStore(tmp_path / "s.json", **kwargs)
+    return SqliteStore(tmp_path / "s.db", **kwargs)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def store(backend, tmp_path):
+    s = make_store(backend, tmp_path)
+    yield s
+    s.close()
+
+
+class TestContract:
+    def test_get_missing_is_none(self, store):
+        assert store.get("nope") is None
+
+    def test_put_get_round_trip(self, store):
+        store.put("k", RECORD)
+        assert store.get("k") == RECORD
+
+    def test_read_your_writes_before_flush(self, store):
+        store.put("k", RECORD)
+        # No flush yet: nothing (or only schema) on disk, record served.
+        assert store.get("k") == RECORD
+
+    def test_persists_across_instances(self, backend, tmp_path):
+        s = make_store(backend, tmp_path)
+        s.put("k", RECORD)
+        s.flush()
+        s.close()
+        reopened = make_store(backend, tmp_path)
+        assert reopened.get("k") == RECORD
+        reopened.close()
+
+    def test_float_bit_identity_round_trip(self, backend, tmp_path):
+        """Floats survive the disk round trip bit-exactly."""
+        record = {"f": 0.1 + 0.2, "tiny": 5e-324, "big": 1.7976931348623157e308}
+        s = make_store(backend, tmp_path)
+        s.put("k", record)
+        s.flush()
+        s.close()
+        reopened = make_store(backend, tmp_path)
+        got = reopened.get("k")
+        assert got == record
+        assert all(got[name] == record[name] for name in record)
+        reopened.close()
+
+    def test_len_counts_live_records(self, store):
+        assert len(store) == 0
+        store.put("a", RECORD)
+        store.put("b", RECORD)
+        assert len(store) == 2
+        store.flush()
+        store.put("b", RECORD)  # overwrite, not a new record
+        assert len(store) == 2
+
+    def test_scan_yields_sorted_live_records(self, store):
+        store.put("b", {"n": 2})
+        store.put("a", {"n": 1})
+        store.flush()
+        store.put("c", {"n": 3})  # staged, unflushed
+        assert [k for k, _ in store.scan()] == ["a", "b", "c"]
+
+    def test_flush_only_when_dirty(self, store):
+        store.flush()
+        assert store.flush_writes == 0
+        store.put("k", RECORD)
+        store.flush()
+        store.flush()
+        assert store.flush_writes == 1
+
+    def test_context_manager_defers_flush(self, store):
+        with store:
+            store.put("k", RECORD)
+            store.flush()
+            assert store.flush_writes == 0
+        assert store.flush_writes == 1
+
+    def test_nested_contexts_flush_at_outermost_exit(self, store):
+        with store:
+            with store:
+                store.put("k", RECORD)
+                store.flush()
+            assert store.flush_writes == 0
+        assert store.flush_writes == 1
+
+    def test_tombstone_hides_and_counts(self, store):
+        store.put("k", RECORD)
+        store.flush()
+        store.tombstone("k")
+        assert store.get("k") is None
+        assert store.corrupt_records == 1
+        assert "k" not in dict(store.scan())
+        store.flush()
+        store.close()
+
+    def test_put_after_tombstone_revives(self, store):
+        store.put("k", RECORD)
+        store.tombstone("k")
+        store.put("k", RECORD)
+        assert store.get("k") == RECORD
+        assert store.corrupt_records == 0
+
+    def test_validate_hook_tombstones_bad_records(self, backend, tmp_path):
+        s = make_store(
+            backend, tmp_path, validate=lambda r: "spec" in r
+        )
+        s.put("good", RECORD)
+        s.put("bad", {"not-a-spec": 1})
+        assert s.get("good") == RECORD
+        assert s.get("bad") is None
+        assert s.corrupt_records == 1
+        assert s.stats()["corrupt_records"] == 1
+        s.close()
+
+    def test_older_version_records_not_served(self, backend, tmp_path):
+        s = make_store(backend, tmp_path, version=OLDER[0],
+                       older_versions=())
+        s.put("k", RECORD)
+        s.flush()
+        s.close()
+        upgraded = make_store(backend, tmp_path)
+        assert upgraded.get("k") is None
+        assert len(upgraded) == 0
+        upgraded.close()
+
+    def test_stats_shape(self, backend, store):
+        store.put("k", RECORD)
+        store.flush()
+        stats = store.stats()
+        assert stats["backend"] == backend
+        assert stats["records"] == 1
+        assert stats["corrupt_records"] == 0
+        assert stats["evictions"] == 0
+        assert stats["flush_writes"] == 1
+        assert stats["bytes_on_disk"] > 0
+
+    def test_info_includes_identity(self, store):
+        report = store.info()
+        assert report["version"] == VERSION
+        assert report["path"] == str(store.path)
+        assert report["url"] == store.url
+
+    def test_url_round_trip_opens_same_store(self, backend, tmp_path):
+        s = make_store(backend, tmp_path)
+        s.put("k", RECORD)
+        s.flush()
+        url = s.url
+        s.close()
+        reopened = open_store(url, version=VERSION, older_versions=OLDER)
+        assert type(reopened).BACKEND == backend
+        assert reopened.get("k") == RECORD
+        reopened.close()
+
+    def test_gc_purges_tombstones(self, backend, tmp_path):
+        s = make_store(backend, tmp_path)
+        s.put("keep", RECORD)
+        s.put("drop", RECORD)
+        s.flush()
+        s.tombstone("drop")
+        report = s.gc()
+        assert report["backend"] == backend
+        assert report["purged_tombstones"] == 1
+        s.close()
+        reopened = make_store(backend, tmp_path)
+        assert reopened.get("keep") == RECORD
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_close_flushes(self, backend, tmp_path):
+        s = make_store(backend, tmp_path)
+        s.put("k", RECORD)
+        s.close()
+        reopened = make_store(backend, tmp_path)
+        assert reopened.get("k") == RECORD
+        reopened.close()
+
+
+class TestParseStoreUrl:
+    def test_bare_path_is_json(self, tmp_path):
+        spec = parse_store_url(tmp_path / "s.json")
+        assert spec.backend == "json"
+
+    def test_sqlite_scheme(self):
+        assert parse_store_url("sqlite:s.db") == StoreSpec("sqlite", "s.db")
+
+    def test_json_scheme(self):
+        assert parse_store_url("json:s.json") == StoreSpec("json", "s.json")
+
+    def test_sqlite_options(self):
+        spec = parse_store_url("sqlite:s.db?max_records=100&shard_prefix=2")
+        assert spec.options == {"max_records": 100, "shard_prefix": 2}
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown store option"):
+            parse_store_url("sqlite:s.db?bogus=1")
+
+    def test_bad_option_value_rejected(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_store_url("sqlite:s.db?max_records=ten")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError, match="no path"):
+            parse_store_url("sqlite:")
+
+    def test_sqlite_magic_sniffed_on_bare_path(self, tmp_path):
+        """A bare path to an existing database must NOT open as JSON --
+        a JSON-backend flush would destroy the database."""
+        path = tmp_path / "disguised.json"
+        s = SqliteStore(path, version=VERSION)
+        s.put("k", RECORD)
+        s.flush()
+        s.close()
+        assert parse_store_url(path).backend == "sqlite"
+        reopened = open_store(path, version=VERSION)
+        assert isinstance(reopened, SqliteStore)
+        assert reopened.get("k") == RECORD
+        reopened.close()
+
+    def test_max_records_keyword_rejected_for_json(self, tmp_path):
+        with pytest.raises(ValueError, match="sqlite backend"):
+            open_store(tmp_path / "s.json", version=VERSION, max_records=5)
+
+    def test_url_options_win_over_keyword(self, tmp_path):
+        s = open_store(
+            f"sqlite:{tmp_path / 's.db'}?max_records=7",
+            version=VERSION,
+            max_records=99,
+        )
+        assert s.max_records == 7
+        s.close()
+
+
+class TestJsonFileFormat:
+    """The JSON backend stays bit-compatible with pre-refactor files."""
+
+    def test_file_payload_shape(self, tmp_path):
+        s = JsonFileStore(tmp_path / "s.json", version=VERSION)
+        s.put("k", RECORD)
+        s.flush()
+        payload = json.loads((tmp_path / "s.json").read_text())
+        assert payload == {"version": VERSION, "records": {"k": RECORD}}
+        # sort_keys: a deterministic byte stream for identical contents.
+        assert (tmp_path / "s.json").read_text() == json.dumps(
+            payload, sort_keys=True
+        )
+        s.close()
+
+    def test_refresh_merges_concurrent_writer(self, tmp_path):
+        a = JsonFileStore(tmp_path / "s.json", version=VERSION)
+        b = JsonFileStore(tmp_path / "s.json", version=VERSION)
+        a.put("from-a", {"n": 1})
+        a.flush()
+        b.put("from-b", {"n": 2})
+        b.flush()  # merge-on-save: must not lose "from-a"
+        b.refresh()
+        assert b.get("from-a") == {"n": 1}
+        reopened = JsonFileStore(tmp_path / "s.json", version=VERSION)
+        assert len(reopened) == 2
+        a.close(), b.close(), reopened.close()
+
+    def test_foreign_version_redirects_writes(self, tmp_path):
+        path = tmp_path / "s.json"
+        foreign = {"version": "from-the-future", "records": {"f": RECORD}}
+        path.write_text(json.dumps(foreign))
+        with pytest.warns(UserWarning, match="unrecognized version"):
+            s = JsonFileStore(path, version=VERSION)
+        s.put("k", RECORD)
+        s.flush()
+        # The foreign file is untouched; our writes landed in a sibling.
+        assert json.loads(path.read_text()) == foreign
+        sibling = tmp_path / f"s.json.{VERSION}"
+        assert sibling.exists()
+        assert s.info()["redirected"] is True
+        s.close()
+
+    def test_gc_merges_current_version_sibling(self, tmp_path):
+        """Once the main path is writable again, gc folds a leftover
+        redirect sibling back in and removes it."""
+        path = tmp_path / "s.json"
+        sibling = tmp_path / f"s.json.{VERSION}"
+        sibling.write_text(json.dumps(
+            {"version": VERSION, "records": {"redirected": RECORD}}
+        ))
+        s = JsonFileStore(path, version=VERSION)
+        s.put("direct", RECORD)
+        s.flush()
+        report = s.gc()
+        assert report["removed_siblings"] == [sibling.name]
+        assert report["merged_records"] == 1
+        assert not sibling.exists()
+        assert s.get("redirected") == RECORD
+        s.close()
+
+    def test_gc_removes_older_version_siblings(self, tmp_path):
+        path = tmp_path / "s.json"
+        stale = tmp_path / f"s.json.{OLDER[0]}"
+        stale.write_text(json.dumps({"version": OLDER[0], "records": {}}))
+        s = JsonFileStore(path, version=VERSION, older_versions=OLDER)
+        report = s.gc()
+        assert report["removed_siblings"] == [stale.name]
+        assert not stale.exists()
+        s.close()
+
+    def test_gc_preserves_foreign_version_siblings(self, tmp_path):
+        path = tmp_path / "s.json"
+        foreign = tmp_path / "s.json.newer-v9"
+        foreign.write_text(json.dumps({"version": "newer-v9", "records": {}}))
+        s = JsonFileStore(path, version=VERSION, older_versions=OLDER)
+        s.gc()
+        assert foreign.exists()
+        s.close()
+
+
+class TestSqliteBackend:
+    def test_lru_eviction_bounds_records(self, tmp_path):
+        s = SqliteStore(tmp_path / "s.db", version=VERSION, max_records=3)
+        for i in range(5):
+            s.put(f"k{i}", {"n": i})
+        s.flush()
+        assert len(s) == 3
+        assert s.evictions == 2
+        assert s.stats()["evictions"] == 2
+        s.close()
+
+    def test_lru_evicts_least_recently_accessed(self, tmp_path):
+        s = SqliteStore(tmp_path / "s.db", version=VERSION, max_records=2)
+        s.put("a", {"n": 0})
+        s.flush()
+        s.put("b", {"n": 1})
+        s.flush()
+        # Touch "a" so "b" is now the LRU record.
+        assert s.get("a") == {"n": 0}
+        s.flush()
+        s.put("c", {"n": 2})
+        s.flush()
+        assert s.get("b") is None
+        assert s.get("a") == {"n": 0}
+        assert s.get("c") == {"n": 2}
+        s.close()
+
+    def test_flush_is_o_dirty_not_o_total(self, tmp_path):
+        """One staged put into a populated store writes one row."""
+        s = SqliteStore(tmp_path / "s.db", version=VERSION)
+        with s:
+            for i in range(200):
+                s.put(f"k{i}", {"n": i})
+        s.put("one-more", {"n": -1})
+        changes_before = s._conn.total_changes
+        s.flush()
+        assert s._conn.total_changes - changes_before <= 2
+        s.close()
+
+    def test_versions_coexist_per_record(self, tmp_path):
+        old = SqliteStore(tmp_path / "s.db", version="other-v9")
+        old.put("foreign", RECORD)
+        old.flush()
+        old.close()
+        s = SqliteStore(tmp_path / "s.db", version=VERSION)
+        s.put("ours", RECORD)
+        s.flush()
+        assert s.get("foreign") is None
+        assert len(s) == 1
+        assert s.version_counts() == {"other-v9": 1, VERSION: 1}
+        s.close()
+        # The foreign rows survived our writes and gc.
+        other = SqliteStore(tmp_path / "s.db", version="other-v9")
+        assert other.get("foreign") == RECORD
+        other.close()
+
+    def test_gc_drops_older_versions_keeps_foreign(self, tmp_path):
+        for version in (OLDER[0], "newer-v9"):
+            s = SqliteStore(tmp_path / "s.db", version=version)
+            s.put(f"at-{version}", RECORD)
+            s.flush()
+            s.close()
+        s = SqliteStore(
+            tmp_path / "s.db", version=VERSION, older_versions=OLDER
+        )
+        report = s.gc()
+        assert report["purged_stale_versions"] == 1
+        assert report["foreign_version_records"] == 1
+        assert s.version_counts() == {"newer-v9": 1}
+        s.close()
+
+    def test_shard_prefix_partitions_scan(self, tmp_path):
+        s = SqliteStore(
+            tmp_path / "s.db", version=VERSION, shard_prefix=1
+        )
+        for key in ("a1", "a2", "b1"):
+            s.put(key, {"k": key})
+        s.flush()
+        assert [k for k, _ in s.scan(shard="a")] == ["a1", "a2"]
+        assert s.shard_counts() == {"a": 2, "b": 1}
+        assert "shard_prefix=1" in s.url
+        s.close()
+
+    def test_corrupt_row_tombstoned_on_read(self, tmp_path):
+        s = SqliteStore(tmp_path / "s.db", version=VERSION)
+        s.put("k", RECORD)
+        s.flush()
+        s._conn.execute(
+            "UPDATE records SET value='{truncated' WHERE key='k'"
+        )
+        s._conn.commit()
+        assert s.get("k") is None
+        assert s.corrupt_records == 1
+        s.close()
+
+    def test_concurrent_instances_share_rows(self, tmp_path):
+        a = SqliteStore(tmp_path / "s.db", version=VERSION)
+        b = SqliteStore(tmp_path / "s.db", version=VERSION)
+        a.put("from-a", {"n": 1})
+        a.flush()
+        assert b.get("from-a") == {"n": 1}
+        b.put("from-b", {"n": 2})
+        b.flush()
+        assert a.get("from-b") == {"n": 2}
+        a.close(), b.close()
+
+    def test_max_records_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            SqliteStore(tmp_path / "s.db", version=VERSION, max_records=0)
+
+    def test_unrecognized_schema_warns(self, tmp_path):
+        path = tmp_path / "s.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT "
+                     "NOT NULL)")
+        conn.execute("INSERT INTO meta VALUES ('schema', 'weird-v9')")
+        conn.commit()
+        conn.close()
+        with pytest.warns(UserWarning, match="schema"):
+            s = SqliteStore(path, version=VERSION)
+        s.close()

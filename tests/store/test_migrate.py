@@ -1,0 +1,128 @@
+"""Migration between backends is lossless and bit-exact.
+
+The acceptance bar: ``cache migrate`` round-trips (JSON -> sqlite ->
+JSON) must preserve every record field-for-field, floats included.
+"""
+
+import pytest
+
+from repro.store import (
+    JsonFileStore,
+    SqliteStore,
+    migrate_store,
+    open_store,
+)
+
+VERSION = "mig-v2"
+OLDER = ("mig-v1",)
+
+
+def records(n):
+    # Awkward floats on purpose: bit-exactness is the claim under test.
+    return {
+        f"key-{i:04d}": {
+            "spec": {"n": i, "f": i * 0.1 + 0.2},
+            "org": {"third": i / 3.0},
+        }
+        for i in range(n)
+    }
+
+
+def filled_json(tmp_path, name="src.json", n=25):
+    store = JsonFileStore(tmp_path / name, version=VERSION,
+                          older_versions=OLDER)
+    for key, record in records(n).items():
+        store.put(key, record)
+    store.flush()
+    return store
+
+
+class TestMigrate:
+    def test_json_to_sqlite_copies_everything(self, tmp_path):
+        src = filled_json(tmp_path)
+        dst = SqliteStore(tmp_path / "dst.db", version=VERSION)
+        report = migrate_store(src, dst)
+        assert report["migrated"] == 25
+        assert report["destination_records"] == 25
+        assert dict(dst.scan()) == records(25)
+        src.close(), dst.close()
+
+    def test_round_trip_bit_identity(self, tmp_path):
+        """JSON -> sqlite -> JSON: every record field-for-field equal."""
+        src = filled_json(tmp_path)
+        middle = SqliteStore(tmp_path / "mid.db", version=VERSION)
+        migrate_store(src, middle)
+        back = JsonFileStore(tmp_path / "back.json", version=VERSION)
+        migrate_store(middle, back)
+        assert dict(back.scan()) == dict(src.scan()) == records(25)
+        src.close(), middle.close(), back.close()
+
+    def test_migration_is_one_flush(self, tmp_path):
+        src = filled_json(tmp_path)
+        dst = SqliteStore(tmp_path / "dst.db", version=VERSION)
+        migrate_store(src, dst)
+        assert dst.flush_writes == 1
+        src.close(), dst.close()
+
+    def test_same_store_rejected(self, tmp_path):
+        src = filled_json(tmp_path)
+        with pytest.raises(ValueError, match="same store"):
+            migrate_store(src, src)
+        src.close()
+
+    def test_tombstoned_records_shed(self, tmp_path):
+        src = filled_json(tmp_path)
+        src.tombstone("key-0000")
+        dst = SqliteStore(tmp_path / "dst.db", version=VERSION)
+        report = migrate_store(src, dst)
+        assert report["migrated"] == 24
+        assert report["skipped_corrupt"] == 1
+        assert dst.get("key-0000") is None
+        src.close(), dst.close()
+
+    def test_other_version_records_stay_behind(self, tmp_path):
+        old = JsonFileStore(tmp_path / "src.json", version=OLDER[0])
+        old.put("ancient", {"n": 0})
+        old.flush()
+        old.close()
+        src = JsonFileStore(tmp_path / "src.json", version=VERSION,
+                            older_versions=OLDER)
+        dst = SqliteStore(tmp_path / "dst.db", version=VERSION)
+        report = migrate_store(src, dst)
+        assert report["migrated"] == 0
+        assert len(dst) == 0
+        src.close(), dst.close()
+
+    def test_destination_bound_applies(self, tmp_path):
+        """Migrating into a bounded store evicts down to the bound --
+        the bound is the destination's contract, not the migration's."""
+        src = filled_json(tmp_path, n=30)
+        dst = SqliteStore(tmp_path / "dst.db", version=VERSION,
+                          max_records=10)
+        report = migrate_store(src, dst)
+        assert report["migrated"] == 30
+        assert len(dst) == 10
+        assert dst.evictions == 20
+        src.close(), dst.close()
+
+    def test_existing_destination_records_preserved(self, tmp_path):
+        src = filled_json(tmp_path, n=5)
+        dst = SqliteStore(tmp_path / "dst.db", version=VERSION)
+        dst.put("pre-existing", {"n": -1})
+        dst.flush()
+        migrate_store(src, dst)
+        assert dst.get("pre-existing") == {"n": -1}
+        assert len(dst) == 6
+        src.close(), dst.close()
+
+    def test_solve_store_migration_via_urls(self, tmp_path):
+        """The CLI path: open both ends by URL with open_store."""
+        src = filled_json(tmp_path, n=8)
+        src.close()
+        a = open_store(tmp_path / "src.json", version=VERSION)
+        b = open_store(f"sqlite:{tmp_path / 'dst.db'}?max_records=100",
+                       version=VERSION)
+        report = migrate_store(a, b)
+        assert report["migrated"] == 8
+        assert "max_records=100" in report["destination"]
+        a.close(), b.close()
